@@ -1,0 +1,128 @@
+// Package bittactical is the public API of the Bit-Tactical (TCL)
+// reproduction: a software scheduler that statically plans sparse-weight
+// promotions for a lightweight hardware front-end, two bit-serial
+// activation back-ends (TCLp: dynamic precision; TCLe: Booth effectual
+// terms), a column-exact simulator for the whole design family, and the
+// experiment harness that regenerates every table and figure of the ASPLOS
+// 2019 paper.
+//
+// The three-call tour:
+//
+//	model, _ := bittactical.BuildModel("AlexNet-ES", bittactical.DefaultZoo())
+//	acts := model.GenerateActs(1)
+//	res, _ := bittactical.Simulate(bittactical.TCLe(bittactical.Trident(2, 5)), model, acts)
+//	fmt.Printf("%.2fx over DaDianNao++\n", res.Speedup())
+//
+// Deeper layers live under internal/ (see README.md for the map); this
+// package re-exports the surface a downstream user needs: the model zoo,
+// connectivity patterns, accelerator configurations, the scheduler, the
+// simulator, and the experiment registry.
+package bittactical
+
+import (
+	"bittactical/internal/arch"
+	"bittactical/internal/experiments"
+	"bittactical/internal/nn"
+	"bittactical/internal/sched"
+	"bittactical/internal/sim"
+	"bittactical/internal/tensor"
+)
+
+// ---- model zoo ----
+
+// Model is an instantiated evaluation network.
+type Model = nn.Model
+
+// ZooConfig controls zoo instantiation (scale, width, seed).
+type ZooConfig = nn.ZooConfig
+
+// DefaultZoo returns the configuration the experiments use.
+func DefaultZoo() ZooConfig { return nn.DefaultZoo() }
+
+// ModelNames lists the paper's seven evaluation networks.
+func ModelNames() []string { return append([]string(nil), nn.ModelNames...) }
+
+// BuildModel instantiates one of the paper's networks by name.
+func BuildModel(name string, cfg ZooConfig) (*Model, error) { return nn.BuildModel(name, cfg) }
+
+// ---- front-end connectivity & scheduling ----
+
+// Pattern is a front-end connectivity configuration.
+type Pattern = sched.Pattern
+
+// Trident returns the sparse T<h,d> pattern of Figure 3b — the paper's
+// co-designed interconnect.
+func Trident(h, d int) Pattern { return sched.T(h, d) }
+
+// LShape returns the contiguous L<h,d> pattern of Figure 3a.
+func LShape(h, d int) Pattern { return sched.L(h, d) }
+
+// PatternByName resolves the paper's configuration labels ("T8<2,5>", …).
+func PatternByName(name string) (Pattern, error) { return sched.ByName(name) }
+
+// Schedule statically schedules one filter (a Steps×Lanes dense weight
+// matrix) under the pattern with the paper's Algorithm 1 and returns the
+// verified schedule.
+func Schedule(lanes, steps int, weights []int32, p Pattern) (*sched.Schedule, error) {
+	f := sched.NewFilter(lanes, steps, weights, nil)
+	s := sched.ScheduleFilter(f, p, sched.Algorithm1)
+	if err := sched.Verify(f, p, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ---- accelerator configurations ----
+
+// Config is a hardware configuration (Table 2).
+type Config = arch.Config
+
+// DaDianNaoPP returns the dense bit-parallel baseline.
+func DaDianNaoPP() Config { return arch.DaDianNaoPP() }
+
+// FrontEndOnly returns weight skipping over a bit-parallel back-end
+// (Figure 8a's subject).
+func FrontEndOnly(p Pattern) Config { return arch.FrontEndOnly(p) }
+
+// TCLp returns the dynamic-precision bit-serial design with pattern p.
+func TCLp(p Pattern) Config { return arch.NewTCL(p, arch.TCLp) }
+
+// TCLe returns the Booth effectual-term design with pattern p.
+func TCLe(p Pattern) Config { return arch.NewTCL(p, arch.TCLe) }
+
+// ---- simulation ----
+
+// Result is a network simulation outcome.
+type Result = sim.Result
+
+// Tensor is a dense 4-D fixed-point tensor.
+type Tensor = tensor.T
+
+// Simulate runs every layer of the model under the configuration.
+func Simulate(cfg Config, m *Model, acts []*Tensor) (*Result, error) {
+	return sim.SimulateModel(cfg, m, acts)
+}
+
+// ---- experiments ----
+
+// ExperimentOptions configures an experiment runner.
+type ExperimentOptions = experiments.Options
+
+// ExperimentIDs lists the reproducible tables and figures.
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one of the paper's tables or figures.
+func RunExperiment(id string, opts ExperimentOptions) (*experiments.Table, error) {
+	run, ok := experiments.Registry[id]
+	if !ok {
+		return nil, &UnknownExperimentError{ID: id}
+	}
+	return run(opts)
+}
+
+// UnknownExperimentError reports an unrecognized experiment id.
+type UnknownExperimentError struct{ ID string }
+
+func (e *UnknownExperimentError) Error() string {
+	return "bittactical: unknown experiment " + e.ID
+}

@@ -1,0 +1,91 @@
+package bittactical_test
+
+import (
+	"strings"
+	"testing"
+
+	"bittactical"
+)
+
+func TestPublicAPIQuickTour(t *testing.T) {
+	zoo := bittactical.DefaultZoo()
+	zoo.ChannelScale, zoo.SpatialScale = 0.1, 0.25
+	m, err := bittactical.BuildModel("AlexNet-ES", zoo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts := m.GenerateActs(1)
+	res, err := bittactical.Simulate(bittactical.TCLe(bittactical.Trident(2, 5)), m, acts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup() <= 1.5 {
+		t.Errorf("TCLe speedup %.2f implausibly low", res.Speedup())
+	}
+	base, err := bittactical.Simulate(bittactical.DaDianNaoPP(), m, acts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Speedup() != 1.0 {
+		t.Errorf("baseline speedup %v != 1", base.Speedup())
+	}
+}
+
+func TestPublicAPISchedule(t *testing.T) {
+	w := make([]int32, 16*8)
+	for i := 0; i < len(w); i += 3 {
+		w[i] = int32(i + 1)
+	}
+	s, err := bittactical.Schedule(16, 8, w, bittactical.Trident(2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() >= 8 || s.Len() < 1 {
+		t.Errorf("schedule %d columns for a 2/3-sparse filter", s.Len())
+	}
+}
+
+func TestPublicAPIPatterns(t *testing.T) {
+	p, err := bittactical.PatternByName("T8<2,5>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MuxInputs() != 8 {
+		t.Errorf("T8<2,5> mux inputs = %d", p.MuxInputs())
+	}
+	if bittactical.LShape(1, 2).MuxInputs() != 4 {
+		t.Error("L4<1,2> mux inputs != 4")
+	}
+}
+
+func TestPublicAPIModelNamesCopy(t *testing.T) {
+	names := bittactical.ModelNames()
+	if len(names) != 7 {
+		t.Fatalf("got %d names", len(names))
+	}
+	names[0] = "mutated"
+	if bittactical.ModelNames()[0] == "mutated" {
+		t.Error("ModelNames must return a copy")
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	ids := bittactical.ExperimentIDs()
+	if len(ids) < 13 {
+		t.Fatalf("only %d experiment ids", len(ids))
+	}
+	if _, err := bittactical.RunExperiment("not-an-experiment", bittactical.ExperimentOptions{}); err == nil {
+		t.Fatal("accepted unknown experiment")
+	} else if !strings.Contains(err.Error(), "not-an-experiment") {
+		t.Errorf("error %q should name the id", err)
+	}
+	zoo := bittactical.DefaultZoo()
+	zoo.ChannelScale, zoo.SpatialScale = 0.1, 0.25
+	tab, err := bittactical.RunExperiment("table2", bittactical.ExperimentOptions{Zoo: zoo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tab.Render(), "Tiles") {
+		t.Error("table2 render missing content")
+	}
+}

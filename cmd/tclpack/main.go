@@ -1,0 +1,106 @@
+// Command tclpack is the offline middleware pipeline end-to-end: it builds
+// a model, schedules every filter group under a connectivity pattern,
+// verifies each schedule against the hardware invariants, packs the results
+// into weight-scratchpad images (the binary artifact the silicon consumes),
+// round-trips each image through the decoder, and reports footprints.
+//
+// Usage:
+//
+//	tclpack -model AlexNet-ES -pattern 'T8<2,5>' -o /tmp/alexnet.tclw
+//	tclpack -model MobileNet -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bittactical/internal/fixed"
+	"bittactical/internal/nn"
+	"bittactical/internal/sched"
+	"bittactical/internal/wsformat"
+)
+
+func main() {
+	var (
+		model   = flag.String("model", "AlexNet-ES", "zoo model to pack")
+		patName = flag.String("pattern", "T8<2,5>", "connectivity pattern")
+		out     = flag.String("o", "", "write the concatenated WS images here")
+		cscale  = flag.Float64("cscale", 0.25, "channel scale")
+		sscale  = flag.Float64("sscale", 0.5, "spatial scale")
+	)
+	flag.Parse()
+
+	p, err := sched.ByName(*patName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := nn.DefaultZoo()
+	cfg.ChannelScale, cfg.SpatialScale = *cscale, *sscale
+	m, err := nn.BuildModel(*model, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	acts := m.GenerateActs(1)
+	lws, err := m.Lowered(16, acts)
+	if err != nil {
+		fatal(err)
+	}
+
+	var blob []byte
+	var rawBits, imgBits int64
+	var filters, columns, denseCols int
+	for _, lw := range lws {
+		pad := make([]bool, lw.Steps*lw.Lanes)
+		for st := 0; st < lw.Steps; st++ {
+			for ln := 0; ln < lw.Lanes; ln++ {
+				pad[st*lw.Lanes+ln] = lw.IsPad(st, ln)
+			}
+		}
+		for f0 := 0; f0 < lw.Filters; f0 += 16 {
+			f1 := f0 + 16
+			if f1 > lw.Filters {
+				f1 = lw.Filters
+			}
+			group := make([]sched.Filter, f1-f0)
+			for i := range group {
+				group[i] = sched.NewFilter(lw.Lanes, lw.Steps, lw.FilterRow(f0+i), pad)
+			}
+			for i, s := range sched.ScheduleGroup(group, p, sched.Algorithm1) {
+				if err := sched.Verify(group[i], p, s); err != nil {
+					fatal(fmt.Errorf("%s filter %d: %w", lw.Name, f0+i, err))
+				}
+				buf, err := wsformat.Encode(p, s, m.Width)
+				if err != nil {
+					fatal(err)
+				}
+				if err := wsformat.RoundTrip(p, s, m.Width); err != nil {
+					fatal(fmt.Errorf("%s filter %d: %w", lw.Name, f0+i, err))
+				}
+				blob = append(blob, buf...)
+				rawBits += int64(lw.Steps) * int64(lw.Lanes) * int64(m.Width)
+				imgBits += wsformat.SizeBits(p, s, m.Width)
+				filters++
+				columns += s.Len()
+				denseCols += lw.Steps
+			}
+		}
+	}
+	fmt.Printf("%s under %s: %d filters scheduled and verified\n", m.Name, p.Name, filters)
+	fmt.Printf("schedule: %d columns vs %d dense steps (%.2fx front-end compaction)\n",
+		columns, denseCols, float64(denseCols)/float64(columns))
+	fmt.Printf("WS images: %.1f KB (raw dense weights: %.1f KB; ws+ALC overhead included)\n",
+		float64(imgBits)/8/1024, float64(rawBits)/8/1024)
+	_ = fixed.W16
+	if *out != "" {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tclpack:", err)
+	os.Exit(1)
+}

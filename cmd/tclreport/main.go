@@ -1,0 +1,93 @@
+// Command tclreport runs the full experiment suite and writes a single
+// markdown report — the machine-generated companion to EXPERIMENTS.md.
+//
+// Usage:
+//
+//	tclreport -o report.md
+//	tclreport -o report.md -quick        # small zoo, fast smoke report
+//	tclreport -o report.md -include fig8a,fig12
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bittactical/internal/experiments"
+	"bittactical/internal/nn"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "report.md", "output file")
+		quick   = flag.Bool("quick", false, "small zoo for a fast smoke report")
+		include = flag.String("include", "", "comma-separated experiment subset")
+		cscale  = flag.Float64("cscale", 0.25, "channel scale")
+		sscale  = flag.Float64("sscale", 0.5, "spatial scale")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{}
+	zoo := nn.DefaultZoo()
+	zoo.ChannelScale, zoo.SpatialScale = *cscale, *sscale
+	opts.Zoo = zoo
+	if *quick {
+		opts = experiments.Quick()
+	}
+
+	ids := experiments.IDs()
+	if *include != "" {
+		ids = strings.Split(*include, ",")
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Bit-Tactical reproduction report\n\n")
+	fmt.Fprintf(&b, "Generated %s; zoo channel scale %.3g, spatial scale %.3g.\n\n",
+		time.Now().Format(time.RFC3339), opts.Zoo.ChannelScale, opts.Zoo.SpatialScale)
+	for _, id := range ids {
+		run, ok := experiments.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tclreport: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tab, err := run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tclreport: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(&b, "## %s — %s\n\n", tab.ID, tab.Title)
+		writeMarkdownTable(&b, tab)
+		fmt.Fprintf(&b, "_%.1fs_\n\n", time.Since(start).Seconds())
+		fmt.Fprintf(os.Stderr, "tclreport: %s done (%.1fs)\n", id, time.Since(start).Seconds())
+	}
+	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "tclreport:", err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", *out)
+}
+
+func writeMarkdownTable(b *strings.Builder, t *experiments.Table) {
+	row := func(cells []string) {
+		b.WriteString("| ")
+		b.WriteString(strings.Join(cells, " | "))
+		b.WriteString(" |\n")
+	}
+	row(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	row(sep)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	b.WriteByte('\n')
+	for _, n := range t.Notes {
+		fmt.Fprintf(b, "> %s\n", n)
+	}
+	b.WriteByte('\n')
+}

@@ -1,0 +1,101 @@
+// Command tclsim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	tclsim -exp fig8a                 # one experiment
+//	tclsim -exp all                   # everything (writes the full report)
+//	tclsim -exp fig12 -models AlexNet-ES,ResNet50-SS
+//	tclsim -exp table1 -cscale 0.5 -sscale 0.5   # larger instantiation
+//	tclsim -list
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"bittactical/internal/experiments"
+	"bittactical/internal/nn"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		models = flag.String("models", "", "comma-separated model subset")
+		cscale = flag.Float64("cscale", 0.25, "channel scale of the model zoo")
+		sscale = flag.Float64("sscale", 0.5, "spatial scale of the model zoo")
+		seed   = flag.Int64("seed", 1, "weight seed")
+		aseed  = flag.Int64("actseed", 7, "activation seed")
+		trials = flag.Int("trials", 100, "filters per point for fig11")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	zoo := nn.DefaultZoo()
+	zoo.ChannelScale, zoo.SpatialScale, zoo.Seed = *cscale, *sscale, *seed
+	opts := experiments.Options{Zoo: zoo, ActSeed: *aseed, Trials: *trials}
+	if *models != "" {
+		opts.Models = strings.Split(*models, ",")
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		run, ok := experiments.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tclsim: unknown experiment %q (try -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		tab, err := run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tclsim: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Print(tab.Render())
+		fmt.Printf("(%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, tab); err != nil {
+				fmt.Fprintf(os.Stderr, "tclsim: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeCSV stores the table as <dir>/<id>.csv for plotting.
+func writeCSV(dir string, tab *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, tab.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(tab.Header); err != nil {
+		return err
+	}
+	for _, r := range tab.Rows {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

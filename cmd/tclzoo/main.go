@@ -1,0 +1,69 @@
+// Command tclzoo prints the instantiated model zoo: per-network layer
+// geometry, MAC counts, weight sparsity, and activation statistics — the
+// workload inventory behind every experiment.
+//
+// Usage:
+//
+//	tclzoo                      # summary of all seven networks
+//	tclzoo -model ResNet50-SS -layers
+//	tclzoo -cscale 1 -sscale 1  # native-scale shapes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bittactical/internal/fixed"
+	"bittactical/internal/nn"
+	"bittactical/internal/potential"
+)
+
+func main() {
+	var (
+		model  = flag.String("model", "", "single model (default: all)")
+		layers = flag.Bool("layers", false, "print per-layer geometry")
+		cscale = flag.Float64("cscale", 0.25, "channel scale")
+		sscale = flag.Float64("sscale", 0.5, "spatial scale")
+		seed   = flag.Int64("seed", 1, "weight seed")
+		w8     = flag.Bool("w8", false, "8-bit quantized zoo")
+		pot    = flag.Bool("potential", false, "print Table-1 potentials per model")
+	)
+	flag.Parse()
+
+	cfg := nn.DefaultZoo()
+	cfg.ChannelScale, cfg.SpatialScale, cfg.Seed = *cscale, *sscale, *seed
+	if *w8 {
+		cfg.Width = fixed.W8
+	}
+	names := nn.ModelNames
+	if *model != "" {
+		names = []string{*model}
+	}
+	for _, name := range names {
+		m, err := nn.BuildModel(name, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tclzoo:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("%-14s %s  layers=%-3d MACs=%6.1fM  weight sparsity=%.3f (target %.2f)\n",
+			m.Name, m.Width, len(m.Layers), float64(m.TotalMACs())/1e6,
+			m.WeightSparsity(), m.TargetWeightSparsity)
+		if *layers {
+			for _, l := range m.Layers {
+				h, w := l.OutDims()
+				fmt.Printf("  %-14s %-7s K=%-5d C=%-5d %dx%d s%d in %dx%d out %dx%d  MACs=%8.2fM  wsp=%.2f\n",
+					l.Name, l.Kind, l.K, l.C, l.R, l.S, l.Stride, l.InH, l.InW, h, w,
+					float64(l.MACs())/1e6, l.Weights.Sparsity())
+			}
+		}
+		if *pot {
+			tal, err := potential.AnalyzeModel(m, m.GenerateActs(7))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tclzoo:", err)
+				os.Exit(1)
+			}
+			fmt.Println("  " + potential.FormatRow("potential:", tal.Potentials()))
+		}
+	}
+}

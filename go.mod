@@ -1,0 +1,3 @@
+module bittactical
+
+go 1.22

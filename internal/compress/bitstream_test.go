@@ -1,0 +1,138 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"bittactical/internal/fixed"
+	"bittactical/internal/memory"
+	"bittactical/internal/sparsity"
+)
+
+func TestBitWriterReaderRoundTrip(t *testing.T) {
+	w := &BitWriter{}
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xFFFF, 16)
+	w.WriteBits(0, 5)
+	w.WriteBits(0b11, 2)
+	if w.Bits() != 26 {
+		t.Fatalf("wrote %d bits", w.Bits())
+	}
+	r := NewBitReader(w.Bytes())
+	for _, c := range []struct {
+		n    int
+		want uint32
+	}{{3, 0b101}, {16, 0xFFFF}, {5, 0}, {2, 0b11}} {
+		got, err := r.ReadBits(c.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("ReadBits(%d) = %#x, want %#x", c.n, got, c.want)
+		}
+	}
+	if _, err := r.ReadBits(16); err == nil {
+		t.Error("reading past the end must fail")
+	}
+}
+
+func TestEncodeDecodeKnown(t *testing.T) {
+	vs := []int32{0, 100, -100, 0, 32767, 1, 0, 0, -32767, 0, 0, 0, 0, 0, 0, 0}
+	if err := Validate(vs, fixed.W16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllZeroGroup(t *testing.T) {
+	vs := make([]int32, 32)
+	enc := Encode(vs, fixed.W16)
+	// Two groups × 21 bits = 42 bits -> 6 bytes.
+	if len(enc) != 6 {
+		t.Errorf("all-zero stream is %d bytes, want 6", len(enc))
+	}
+	if err := Validate(vs, fixed.W16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortTailGroup(t *testing.T) {
+	vs := []int32{5, 0, -7}
+	if err := Validate(vs, fixed.W16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(raws []int32) bool {
+		vs := make([]int32, len(raws))
+		for i, r := range raws {
+			vs[i] = fixed.Sat(int64(r), fixed.W16)
+		}
+		return Validate(vs, fixed.W16) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundTrip8Bit(t *testing.T) {
+	f := func(raws []int32) bool {
+		vs := make([]int32, len(raws))
+		for i, r := range raws {
+			vs[i] = fixed.Sat(int64(r), fixed.W8)
+		}
+		return Validate(vs, fixed.W8) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodedBitsMatchesMemoryAccounting(t *testing.T) {
+	// The memory package's size model and the real bitstream must agree
+	// bit-for-bit, on realistic streams and on adversarial ones.
+	rng := rand.New(rand.NewSource(1))
+	m := sparsity.ActModel{ZeroFrac: 0.4, MeanLog2: 9, SigmaLog2: 2.2, NegFrac: 0.3, SigBits: 5}
+	vs := make([]int32, 4096)
+	for i := range vs {
+		vs[i] = m.Sample(rng, fixed.W16)
+	}
+	if got, want := EncodedBits(vs, fixed.W16), memory.CompressedBits(vs, fixed.W16); got != want {
+		t.Errorf("codec %d bits != accounting %d bits", got, want)
+	}
+	f := func(raws []int32) bool {
+		xs := make([]int32, len(raws))
+		for i, r := range raws {
+			xs[i] = fixed.Sat(int64(r), fixed.W16)
+		}
+		return EncodedBits(xs, fixed.W16) == memory.CompressedBits(xs, fixed.W16)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatioOnSparseStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := sparsity.ActModel{ZeroFrac: 0.45, MeanLog2: 9, SigmaLog2: 2, SigBits: 5}
+	vs := make([]int32, 8192)
+	for i := range vs {
+		vs[i] = m.Sample(rng, fixed.W16)
+	}
+	r := Ratio(vs, fixed.W16)
+	if r < 1.5 {
+		t.Errorf("compression ratio %.2f too low for a sparse low-precision stream", r)
+	}
+	if Ratio(nil, fixed.W16) != 1 {
+		t.Error("empty stream ratio should be 1")
+	}
+}
+
+func TestDecodeTruncatedStream(t *testing.T) {
+	vs := []int32{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	enc := Encode(vs, fixed.W16)
+	if _, err := Decode(enc[:len(enc)/2], len(vs), fixed.W16); err == nil {
+		t.Error("decoding a truncated stream must fail")
+	}
+}

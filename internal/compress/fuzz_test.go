@@ -1,0 +1,44 @@
+package compress
+
+import (
+	"testing"
+
+	"bittactical/internal/fixed"
+	"bittactical/internal/memory"
+)
+
+// FuzzCodecRoundTrip checks losslessness and size-accounting agreement on
+// arbitrary byte-derived code streams.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 255, 128, 7})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 4096 {
+			raw = raw[:4096]
+		}
+		vs := make([]int32, (len(raw)+1)/2)
+		for i := range vs {
+			v := int32(int8(raw[2*i])) * 129
+			if 2*i+1 < len(raw) {
+				v += int32(int8(raw[2*i+1]))
+			}
+			vs[i] = fixed.Sat(int64(v), fixed.W16)
+		}
+		if err := Validate(vs, fixed.W16); err != nil {
+			t.Fatal(err)
+		}
+		if EncodedBits(vs, fixed.W16) != memory.CompressedBits(vs, fixed.W16) {
+			t.Fatal("codec size disagrees with accounting")
+		}
+	})
+}
+
+// FuzzDecoderRobust feeds arbitrary bytes to the decoder: it must either
+// decode or error, never panic or loop.
+func FuzzDecoderRobust(f *testing.F) {
+	f.Add([]byte{0xFF, 0x01, 0x02}, uint8(16))
+	f.Fuzz(func(t *testing.T, buf []byte, nRaw uint8) {
+		n := int(nRaw)
+		_, _ = Decode(buf, n, fixed.W16)
+	})
+}

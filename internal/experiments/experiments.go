@@ -1,0 +1,236 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6). Each runner returns a Table whose rows mirror the
+// paper's rows/series; EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"bittactical/internal/fixed"
+	"bittactical/internal/nn"
+	"bittactical/internal/tensor"
+)
+
+// Options configures a run.
+type Options struct {
+	// Zoo instantiates the model zoo; zero value uses nn.DefaultZoo().
+	Zoo nn.ZooConfig
+	// ActSeed drives activation synthesis.
+	ActSeed int64
+	// Models restricts the networks (nil = the paper's seven).
+	Models []string
+	// Trials is the per-point filter count for Figure 11 (0 = the paper's
+	// 100).
+	Trials int
+	// Parallelism bounds worker goroutines (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+func (o Options) zoo() nn.ZooConfig {
+	if o.Zoo == (nn.ZooConfig{}) {
+		return nn.DefaultZoo()
+	}
+	return o.Zoo
+}
+
+func (o Options) models() []string {
+	if len(o.Models) == 0 {
+		return nn.ModelNames
+	}
+	return o.Models
+}
+
+func (o Options) seed() int64 {
+	if o.ActSeed == 0 {
+		return 7
+	}
+	return o.ActSeed
+}
+
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Quick returns options sized for unit tests: two small networks.
+func Quick() Options {
+	z := nn.DefaultZoo()
+	z.ChannelScale, z.SpatialScale = 0.1, 0.25
+	return Options{Zoo: z, Models: []string{"AlexNet-ES", "MobileNet"}, Trials: 5}
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	line(dashes(widths))
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func dashes(widths []int) []string {
+	out := make([]string, len(widths))
+	for i, w := range widths {
+		out[i] = strings.Repeat("-", w)
+	}
+	return out
+}
+
+// workload is a built model with its activation tensors and lowered layers.
+type workload struct {
+	Model *nn.Model
+	Acts  []*tensor.T
+	Low   []*nn.Lowered
+}
+
+// buildWorkloads instantiates and lowers the selected models in parallel.
+func buildWorkloads(o Options, width fixed.Width) ([]*workload, error) {
+	names := o.models()
+	out := make([]*workload, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, o.workers())
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			z := o.zoo()
+			z.Width = width
+			m, err := nn.BuildModel(name, z)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			acts := m.GenerateActs(o.seed())
+			low, err := m.Lowered(16, acts)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			out[i] = &workload{Model: m, Acts: acts, Low: low}
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// parallelDo runs fn(i) for i in [0, n) on the option's worker budget.
+func parallelDo(o Options, n int, fn func(i int)) {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, o.workers())
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// geomean returns the geometric mean of positive values.
+func geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		s += math.Log(v)
+	}
+	return math.Exp(s / float64(len(vs)))
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1fx", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2fx", v) }
+
+// Registry maps experiment ids to runners.
+var Registry = map[string]func(Options) (*Table, error){
+	"table1":   Table1,
+	"table1q8": Table1Q8,
+	"table2":   func(o Options) (*Table, error) { return Table2(), nil },
+	"table3":   func(o Options) (*Table, error) { return Table3(), nil },
+	"fig8a":    Fig8a,
+	"fig8b":    Fig8b,
+	"fig8c":    Fig8c,
+	"fig9":     Fig9,
+	"fig10":    Fig10,
+	"fig11a":   Fig11a,
+	"fig11b":   Fig11b,
+	"fig12":    Fig12,
+	"fig13":    Fig13,
+	// Extensions beyond the paper's figures.
+	"baselines-ext":  ExtendedBaselines,
+	"ss-coverage":    SSCoverage,
+	"ablation-sync":  AblationSync,
+	"ablation-sched": AblationSched,
+	"structured":     StructuredSparsity,
+	"dataflow":       Dataflow,
+}
+
+// IDs returns the experiment ids in a stable order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for k := range Registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

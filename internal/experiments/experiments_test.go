@@ -1,0 +1,436 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parse extracts a float from a "1.23x" cell.
+func parse(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"table1", "table1q8", "table2", "table3", "fig8a", "fig8b",
+		"fig8c", "fig9", "fig10", "fig11a", "fig11b", "fig12", "fig13"}
+	for _, id := range want {
+		if _, ok := Registry[id]; !ok {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if len(IDs()) < len(want) {
+		t.Error("IDs() shorter than the required experiment set")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{ID: "x", Title: "t", Header: []string{"A", "B"},
+		Rows: [][]string{{"1", "2"}}, Notes: []string{"n"}}
+	s := tab.Render()
+	for _, want := range []string{"== x: t ==", "A", "1", "note: n"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable1Quick(t *testing.T) {
+	tab, err := Table1(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 { // 2 models + geomean
+		t.Fatalf("got %d rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		// Ordering invariants: W+A >= W, W+A >= A, Ae >= Ap, W+Ae >= W+Ap.
+		a, w, wa := parse(t, row[1]), parse(t, row[2]), parse(t, row[3])
+		ap, ae, wap, wae := parse(t, row[4]), parse(t, row[5]), parse(t, row[6]), parse(t, row[7])
+		if wa < w-0.05 || wa < a-0.05 {
+			t.Errorf("%s: W+A %v below components %v/%v", row[0], wa, w, a)
+		}
+		if ae < ap || wae < wap {
+			t.Errorf("%s: term potentials must dominate precision potentials", row[0])
+		}
+	}
+}
+
+func TestTable1Q8Quick(t *testing.T) {
+	tab, err := Table1Q8(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t16, err := Table1(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8-bit Ap/Ae potentials shrink versus 16-bit (less prefix to skip).
+	for i := range tab.Rows {
+		ap8, ap16 := parse(t, tab.Rows[i][4]), parse(t, t16.Rows[i][4])
+		if ap8 >= ap16 {
+			t.Errorf("%s: 8b Ap %v should be below 16b %v", tab.Rows[i][0], ap8, ap16)
+		}
+	}
+}
+
+func TestTable2Static(t *testing.T) {
+	tab := Table2()
+	if len(tab.Rows) < 10 {
+		t.Errorf("Table 2 has %d rows", len(tab.Rows))
+	}
+	s := tab.Render()
+	for _, want := range []string{"Tiles", "65nm", "TOPS", "61.2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 2 missing %q", want)
+		}
+	}
+}
+
+func TestTable3Static(t *testing.T) {
+	tab := Table3()
+	s := tab.Render()
+	for _, want := range []string{"Compute Core", "Offset Generator", "Normalized Total", "54.25"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table 3 missing %q", want)
+		}
+	}
+}
+
+func TestFig8aQuick(t *testing.T) {
+	tab, err := Fig8a(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 configs × 2 modes − 1 (X has no lookahead-only row).
+	if len(tab.Rows) != 17 {
+		t.Fatalf("got %d rows", len(tab.Rows))
+	}
+	byLabel := map[string][]string{}
+	for _, r := range tab.Rows {
+		byLabel[r[0]] = r
+	}
+	gm := len(tab.Header) - 1
+	// Lookaside adds on top of lookahead-only for every config.
+	full := parse(t, byLabel["T8<2,5>"][gm])
+	laOnly := parse(t, byLabel["T8<2,5> (la-only)"][gm])
+	if full < laOnly {
+		t.Errorf("T8<2,5> full %v below lookahead-only %v", full, laOnly)
+	}
+	// X<inf,15> is the upper bound.
+	x := parse(t, byLabel["X<inf,15>"][gm])
+	for label, row := range byLabel {
+		if label == "X<inf,15>" {
+			continue
+		}
+		if v := parse(t, row[gm]); v > x+0.05 {
+			t.Errorf("%s (%v) exceeds X upper bound (%v)", label, v, x)
+		}
+	}
+	// All speedups >= ~1.
+	for _, row := range tab.Rows {
+		if v := parse(t, row[gm]); v < 0.99 {
+			t.Errorf("%s geomean %v below 1", row[0], v)
+		}
+	}
+}
+
+func TestFig8bQuick(t *testing.T) {
+	tab, err := Fig8b(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("got %d rows", len(tab.Rows))
+	}
+	gm := len(tab.Header) - 1
+	// Every TCLe config beats its TCLp sibling (rows 0-2 TCLp, 3-5 TCLe).
+	for i := 0; i < 3; i++ {
+		p, e := parse(t, tab.Rows[i][gm]), parse(t, tab.Rows[i+3][gm])
+		if e <= p {
+			t.Errorf("TCLe (%v) must beat TCLp (%v) for config row %d", e, p, i)
+		}
+	}
+}
+
+func TestFig8cQuick(t *testing.T) {
+	tab, err := Fig8c(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 { // 2 models × 3 configs
+		t.Fatalf("got %d rows", len(tab.Rows))
+	}
+	for i := 0; i < len(tab.Rows); i += 3 {
+		if eff := parse(t, tab.Rows[i][6]); eff != 1.0 {
+			t.Errorf("baseline efficiency %v != 1.0", eff)
+		}
+		for j := 1; j < 3; j++ {
+			if eff := parse(t, tab.Rows[i+j][6]); eff <= 1.0 {
+				t.Errorf("%s efficiency %v should exceed baseline", tab.Rows[i+j][1], eff)
+			}
+		}
+	}
+}
+
+func TestFig9Quick(t *testing.T) {
+	tab, err := Fig9(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	// Fractions in each census sum to ≈1.
+	for _, row := range tab.Rows {
+		var fe, be float64
+		for _, c := range row[2:7] {
+			if c != "-" {
+				v, _ := strconv.ParseFloat(c, 64)
+				fe += v
+			}
+		}
+		for _, c := range row[7:13] {
+			if c != "-" {
+				v, _ := strconv.ParseFloat(c, 64)
+				be += v
+			}
+		}
+		if fe < 0.97 || fe > 1.03 {
+			t.Errorf("%s/%s: front-end census sums to %v", row[0], row[1], fe)
+		}
+		if be < 0.97 || be > 1.03 {
+			t.Errorf("%s/%s: back-end census sums to %v", row[0], row[1], be)
+		}
+	}
+}
+
+func TestFig10Quick(t *testing.T) {
+	tab, err := Fig10(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 { // 2 models × 2 configs
+		t.Fatalf("got %d rows", len(tab.Rows))
+	}
+	// Speedup must be non-decreasing with memory strength (columns 2..7).
+	for _, row := range tab.Rows {
+		prev := 0.0
+		for c := 2; c <= 7; c++ {
+			v := parse(t, row[c])
+			if v < prev-0.01 {
+				t.Errorf("%s/%s: speedup fell from %v to %v with stronger memory", row[0], row[1], prev, v)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestFig11aQuick(t *testing.T) {
+	tab, err := Fig11a(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 10 {
+		t.Fatalf("got %d rows", len(tab.Rows))
+	}
+	// Dense filters: no speedup; highest sparsity: strong speedup,
+	// monotonically non-decreasing for the leading config.
+	if v := parse(t, tab.Rows[0][1]); v != 1.0 {
+		t.Errorf("0%% sparsity speedup %v != 1.0", v)
+	}
+	prev := 0.0
+	for _, row := range tab.Rows {
+		v := parse(t, row[1])
+		if v < prev-0.05 {
+			t.Errorf("T8<2,5> speedup fell to %v at %s", v, row[0])
+		}
+		prev = v
+	}
+	if prev < 3.0 {
+		t.Errorf("90%% sparsity speedup %v implausibly low", prev)
+	}
+}
+
+func TestFig11bQuick(t *testing.T) {
+	tab, err := Fig11b(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At high sparsity Algorithm 1 beats greedy on the trident (Figure 11b).
+	last := tab.Rows[len(tab.Rows)-1]
+	alg1, greedy := parse(t, last[1]), parse(t, last[2])
+	if alg1 < greedy-0.05 {
+		t.Errorf("Algorithm 1 (%v) below greedy (%v) at 90%% sparsity", alg1, greedy)
+	}
+}
+
+func TestFig12Quick(t *testing.T) {
+	tab, err := Fig12(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := len(tab.Header) - 1
+	vals := map[string]float64{}
+	for _, row := range tab.Rows {
+		vals[row[0]] = parse(t, row[gm])
+	}
+	if vals["DaDianNao++"] != 1.0 {
+		t.Errorf("baseline must be 1.0, got %v", vals["DaDianNao++"])
+	}
+	if vals["TCLe<2,5>"] <= vals["TCLp<2,5>"] {
+		t.Error("TCLe must beat TCLp")
+	}
+	if vals["TCLp<2,5>"] <= vals["DStripes"] {
+		t.Error("TCLp must beat Dynamic Stripes (front-end on top)")
+	}
+	if vals["TCLe<2,5>"] <= vals["Pragmatic"] {
+		t.Error("TCLe must beat Pragmatic")
+	}
+	if vals["TCLe<2,5>"] <= vals["SCNN"] {
+		t.Error("TCLe must beat SCNN")
+	}
+}
+
+func TestFig13Quick(t *testing.T) {
+	tab, err := Fig13(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t16, err := Fig8b(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm := len(tab.Header) - 1
+	for i := range tab.Rows {
+		v8, v16 := parse(t, tab.Rows[i][gm]), parse(t, t16.Rows[i][gm])
+		if v8 <= 1.0 {
+			t.Errorf("%s: 8b speedup %v should remain considerable", tab.Rows[i][0], v8)
+		}
+		if v8 >= v16 {
+			t.Errorf("%s: 8b speedup %v should trail 16b %v", tab.Rows[i][0], v8, v16)
+		}
+	}
+}
+
+func TestExtendedBaselinesQuick(t *testing.T) {
+	tab, err := ExtendedBaselines(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("got %d rows", len(tab.Rows))
+	}
+}
+
+func TestQuickOptionsHelpers(t *testing.T) {
+	o := Options{}
+	if len(o.models()) != 7 {
+		t.Error("default models should be the paper's seven")
+	}
+	if o.seed() == 0 || o.workers() <= 0 {
+		t.Error("defaults unset")
+	}
+	if o.trials() != 100 {
+		t.Errorf("default trials = %d, want the paper's 100", o.trials())
+	}
+	if Quick().trials() != 5 {
+		t.Error("quick trials should be small")
+	}
+}
+
+func TestSSCoverageQuick(t *testing.T) {
+	tab, err := SSCoverage(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("got %d rows", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		ratio := parse(t, row[5])
+		if ratio <= 1.0 {
+			t.Errorf("%s: SS compaction ratio %v should exceed 1", row[0], ratio)
+		}
+	}
+}
+
+func TestAblationSyncQuick(t *testing.T) {
+	tab, err := AblationSync(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		joint, solo := parse(t, row[1]), parse(t, row[2])
+		if joint > solo+0.05 {
+			t.Errorf("%s: joint scheduling (%v) cannot beat per-filter ideal (%v)", row[0], joint, solo)
+		}
+		tcle, ideal := parse(t, row[4]), parse(t, row[5])
+		if tcle > ideal*1.35 {
+			t.Errorf("%s: realized TCLe %v too far above the ideal-free product %v", row[0], tcle, ideal)
+		}
+	}
+}
+
+func TestAblationSchedQuick(t *testing.T) {
+	tab, err := AblationSched(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		matching, alg1, greedy := parse(t, row[1]), parse(t, row[2]), parse(t, row[3])
+		if alg1 > matching*1.05 {
+			t.Errorf("%s: Algorithm 1 (%v) implausibly beats matching (%v)", row[0], alg1, matching)
+		}
+		if greedy > alg1*1.05 {
+			t.Errorf("%s: greedy (%v) implausibly beats Algorithm 1 (%v)", row[0], greedy, alg1)
+		}
+	}
+}
+
+func TestStructuredSparsityQuick(t *testing.T) {
+	tab, err := StructuredSparsity(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		un, st := parse(t, row[1]), parse(t, row[2])
+		if st < un*0.98 {
+			t.Errorf("%s: structured (%v) should not trail unstructured (%v)", row[0], st, un)
+		}
+	}
+	// At 90% sparsity structured zeros eliminate the group-sync loss
+	// entirely: the group schedules as well as a single filter would
+	// (compare fig11a's T8<2,5> at 90%), clearly ahead of unstructured.
+	last := tab.Rows[len(tab.Rows)-1]
+	if parse(t, last[2]) < 1.05*parse(t, last[1]) {
+		t.Errorf("at 90%% sparsity structured (%s) should clearly exceed unstructured (%s)", last[2], last[1])
+	}
+}
+
+func TestDataflowQuick(t *testing.T) {
+	tab, err := Dataflow(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		naive, opt := parseF(t, row[1]), parseF(t, row[2])
+		if opt > naive {
+			t.Errorf("%s: optimized %v costs more than naive %v", row[0], opt, naive)
+		}
+	}
+}
+
+func parseF(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q: %v", cell, err)
+	}
+	return v
+}

@@ -1,0 +1,316 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bittactical/internal/arch"
+	"bittactical/internal/dataflow"
+	"bittactical/internal/memory"
+	"bittactical/internal/nn"
+	"bittactical/internal/sched"
+	"bittactical/internal/sim"
+	"bittactical/internal/sparsity"
+)
+
+// newDeterministicRand builds a seeded source for parallel workers.
+func newDeterministicRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// SSCoverage quantifies the Section 5.4 reduced-memory front-end: the
+// fraction of schedule columns whose mux-select vector falls within a
+// 16-entry schedule-select table, and the metadata compression it buys.
+// The paper profiles ≈96% coverage on GoogLeNet-ES and does not evaluate
+// further; this extension measures it for every network.
+func SSCoverage(o Options) (*Table, error) {
+	wls, err := buildWorkloads(o, o.zoo().Width)
+	if err != nil {
+		return nil, err
+	}
+	cfg := arch.NewTCL(sched.T(2, 5), arch.TCLe)
+	t := &Table{
+		ID:     "ss-coverage",
+		Title:  "Section 5.4 schedule-select compaction (TCLe T8<2,5>)",
+		Header: []string{"Model", "Columns", "Coverage", "Raw KB", "SS KB", "Ratio"},
+	}
+	type res struct {
+		cols, covered int64
+		raw, ss       int64
+	}
+	rs := make([]res, len(wls))
+	parallelDo(o, len(wls), func(wi int) {
+		wl := wls[wi]
+		var r res
+		for _, lw := range wl.Low {
+			pad := make([]bool, lw.Steps*lw.Lanes)
+			for st := 0; st < lw.Steps; st++ {
+				for ln := 0; ln < lw.Lanes; ln++ {
+					pad[st*lw.Lanes+ln] = lw.IsPad(st, ln)
+				}
+			}
+			for f0 := 0; f0 < lw.Filters; f0 += cfg.FiltersPerTile {
+				f1 := f0 + cfg.FiltersPerTile
+				if f1 > lw.Filters {
+					f1 = lw.Filters
+				}
+				filters := make([]sched.Filter, f1-f0)
+				for i := range filters {
+					filters[i] = sched.NewFilter(lw.Lanes, lw.Steps, lw.FilterRow(f0+i), pad)
+				}
+				for _, s := range sched.ScheduleGroup(filters, cfg.Pattern, cfg.Scheduler) {
+					r.cols += int64(s.Len())
+					r.covered += memory.SSCoveredColumns(s)
+					r.raw += memory.MetadataBits(s, cfg.Pattern)
+					r.ss += memory.SSMetadataBits(s, cfg.Pattern)
+				}
+			}
+			r.ss += memory.SSTableBits(cfg.Pattern, lw.Lanes)
+		}
+		rs[wi] = r
+	})
+	for wi, wl := range wls {
+		r := rs[wi]
+		cov := 0.0
+		if r.cols > 0 {
+			cov = float64(r.covered) / float64(r.cols)
+		}
+		t.Rows = append(t.Rows, []string{
+			wl.Model.Name,
+			fmt.Sprintf("%d", r.cols),
+			fmt.Sprintf("%.0f%%", cov*100),
+			fmt.Sprintf("%.1f", float64(r.raw)/8/1024),
+			fmt.Sprintf("%.1f", float64(r.ss)/8/1024),
+			fmt.Sprintf("%.2fx", float64(r.raw)/float64(max64(1, r.ss))),
+		})
+	}
+	t.Notes = append(t.Notes, "paper profiles ~96% coverage for GoogLeNet-ES and leaves evaluation as future work")
+	return t, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// AblationSync isolates the synchronization costs DESIGN.md calls out: per
+// network it reports the front-end speedup with the physically-required
+// joint filter-group scheduling versus an idealized per-filter schedule
+// (no shared ALC), and the back-end's realized gain versus its
+// ideal per-value potential — the two places the design trades performance
+// for hardware simplicity.
+func AblationSync(o Options) (*Table, error) {
+	wls, err := buildWorkloads(o, o.zoo().Width)
+	if err != nil {
+		return nil, err
+	}
+	p := sched.T(2, 5)
+	t := &Table{
+		ID:    "ablation-sync",
+		Title: "Synchronization ablation (T8<2,5>)",
+		Header: []string{"Model", "FE joint", "FE per-filter", "group sync cost",
+			"TCLe", "FExBE ideal-free", "backend sync cost"},
+	}
+	type res struct{ feJoint, feSolo, tcle, ideal float64 }
+	rs := make([]res, len(wls))
+	parallelDo(o, len(wls), func(wi int) {
+		wl := wls[wi]
+		var r res
+		var jointCols, soloCols, dense int64
+		for _, lw := range wl.Low {
+			pad := make([]bool, lw.Steps*lw.Lanes)
+			for st := 0; st < lw.Steps; st++ {
+				for ln := 0; ln < lw.Lanes; ln++ {
+					pad[st*lw.Lanes+ln] = lw.IsPad(st, ln)
+				}
+			}
+			w := int64(lw.WindowCount)
+			for f0 := 0; f0 < lw.Filters; f0 += 16 {
+				f1 := f0 + 16
+				if f1 > lw.Filters {
+					f1 = lw.Filters
+				}
+				filters := make([]sched.Filter, f1-f0)
+				for i := range filters {
+					filters[i] = sched.NewFilter(lw.Lanes, lw.Steps, lw.FilterRow(f0+i), pad)
+				}
+				joint := sched.ScheduleGroup(filters, p, sched.Algorithm1)
+				jointCols += int64(joint[0].Len()) * w
+				// Idealized: every filter compacts independently; the group
+				// would finish with the slowest filter.
+				worst := 0
+				for _, f := range filters {
+					if c := sched.ScheduleFilter(f, p, sched.Algorithm1).Len(); c > worst {
+						worst = c
+					}
+				}
+				soloCols += int64(worst) * w
+				dense += int64(lw.Steps) * w
+			}
+		}
+		r.feJoint = float64(dense) / float64(max64(1, jointCols))
+		r.feSolo = float64(dense) / float64(max64(1, soloCols))
+		tcle, _ := simulateAll(arch.NewTCL(p, arch.TCLe), wl, nil)
+		r.tcle = tcle.Speedup()
+		// Ideal-free product: FE joint × per-value Ae over the layers.
+		be, _ := simulateAll(arch.NewTCL(sched.Pattern{}, arch.TCLe), wl, nil)
+		r.ideal = r.feJoint * be.Speedup()
+		rs[wi] = r
+	})
+	for wi, wl := range wls {
+		r := rs[wi]
+		t.Rows = append(t.Rows, []string{
+			wl.Model.Name, f2(r.feJoint), f2(r.feSolo),
+			fmt.Sprintf("%.0f%%", 100*(1-r.feJoint/r.feSolo)),
+			f2(r.tcle), f2(r.ideal),
+			fmt.Sprintf("%.0f%%", 100*(1-r.tcle/r.ideal)),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"group sync: cost of the shared ASU window across a tile's 16 filters (Section 5.2)",
+		"backend sync: the gap between realized TCLe and the front-end x Pragmatic-back-end product")
+	_ = nn.ModelNames
+	_ = sim.Breakdown{}
+	return t, nil
+}
+
+// AblationSched extends Figure 11b with the column-optimal matching
+// scheduler (maximum bipartite matching per column): how much headroom
+// Algorithm 1's exclusive-first heuristic leaves on the table.
+func AblationSched(o Options) (*Table, error) {
+	series := []struct {
+		Label string
+		P     sched.Pattern
+		Alg   sched.Algorithm
+	}{
+		{"T8<2,5>/matching", sched.T(2, 5), sched.Matching},
+		{"T8<2,5>/Alg1", sched.T(2, 5), sched.Algorithm1},
+		{"T8<2,5>/greedy", sched.T(2, 5), sched.GreedySimple},
+	}
+	res := fig11Sweep(o, series)
+	t := fig11Table("ablation-sched",
+		"Scheduler ablation: column-optimal matching vs Algorithm 1 vs greedy",
+		series2labels(series), res)
+	t.Notes = append(t.Notes,
+		"matching solves each column exactly (Kuhn's algorithm); Algorithm 1 tracks it within a few percent — the paper's 'nearly optimal' claim, quantified")
+	return t, nil
+}
+
+// StructuredSparsity measures the front-end on Cambricon-S-style structured
+// pruning (zeros aligned across a tile's 16 filters) versus unstructured
+// magnitude pruning at the same level — Section 7's claim that "TCL fully
+// supports this form of structural sparsity without requiring it".
+func StructuredSparsity(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "structured",
+		Title:  "Front-end speedup: structured (Cambricon-S-style) vs unstructured pruning (T8<2,5>)",
+		Header: []string{"Sparsity", "unstructured", "structured"},
+	}
+	lanes, steps, group := 16, fig11Steps, 16
+	levels := []float64{0.3, 0.5, 0.7, 0.9}
+	rows := make([][2]float64, len(levels))
+	parallelDo(o, len(levels)*2, func(ji int) {
+		li, structured := ji/2, ji%2 == 1
+		rng := newDeterministicRand(o.seed()*77 + int64(li))
+		var cols, dense int64
+		for trial := 0; trial < o.trials()/4+1; trial++ {
+			fs := make([]sched.Filter, group)
+			if structured {
+				mask := make([]bool, steps*lanes)
+				perm := rng.Perm(steps * lanes)
+				for _, i := range perm[:int(levels[li]*float64(steps*lanes))] {
+					mask[i] = true
+				}
+				for f := range fs {
+					w := make([]int32, steps*lanes)
+					for i := range w {
+						if !mask[i] {
+							w[i] = int32(rng.Intn(200) + 1)
+						}
+					}
+					fs[f] = sched.NewFilter(lanes, steps, w, nil)
+				}
+			} else {
+				for f := range fs {
+					fs[f] = sched.NewFilter(lanes, steps,
+						sparsity.RandomSparseFilter(rng, steps, lanes, levels[li]), nil)
+				}
+			}
+			cols += int64(sched.ScheduleGroup(fs, sched.T(2, 5), sched.Algorithm1)[0].Len())
+			dense += int64(steps)
+		}
+		rows[li][map[bool]int{false: 0, true: 1}[structured]] = float64(dense) / float64(cols)
+	})
+	for li, sp := range levels {
+		t.Rows = append(t.Rows, []string{
+			fmtPct(sp), f2(rows[li][0]), f2(rows[li][1]),
+		})
+	}
+	t.Notes = append(t.Notes, "structured zeros align the 16 filters' windows, so the shared ALC advances freely")
+	return t, nil
+}
+
+func fmtPct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }
+
+// Dataflow reports the per-network outcome of the energy-minimizing
+// blocking optimization the paper applies to its baseline dataflow
+// (Section 6, after Yang et al.): the scratchpad energy of the optimized
+// blocking versus the naive single-psum weight-stationary walk.
+func Dataflow(o Options) (*Table, error) {
+	wls, err := buildWorkloads(o, o.zoo().Width)
+	if err != nil {
+		return nil, err
+	}
+	cfg := arch.NewTCL(sched.T(2, 5), arch.TCLe)
+	naive := cfg
+	naive.PsumRegsPerPE = 1
+	k := dataflow.DefaultCosts()
+	t := &Table{
+		ID:     "dataflow",
+		Title:  "Blocking optimization: scratchpad energy, optimized vs naive walk",
+		Header: []string{"Model", "naive uJ", "optimized uJ", "saving", "act-stationary layers"},
+	}
+	type res struct {
+		naive, opt float64
+		actSt, n   int
+	}
+	rs := make([]res, len(wls))
+	parallelDo(o, len(wls), func(wi int) {
+		wl := wls[wi]
+		var r res
+		_, r.naive = dataflowNaive(naive, wl.Low, k)
+		choices, opt := dataflow.Plan(cfg, wl.Low, k)
+		r.opt = opt
+		for _, c := range choices {
+			if c.Order == dataflow.ActStationary {
+				r.actSt++
+			}
+			r.n++
+		}
+		rs[wi] = r
+	})
+	for wi, wl := range wls {
+		r := rs[wi]
+		t.Rows = append(t.Rows, []string{
+			wl.Model.Name,
+			fmt.Sprintf("%.1f", r.naive*1e-6),
+			fmt.Sprintf("%.1f", r.opt*1e-6),
+			fmt.Sprintf("%.0f%%", 100*(1-r.opt/r.naive)),
+			fmt.Sprintf("%d/%d", r.actSt, r.n),
+		})
+	}
+	return t, nil
+}
+
+// dataflowNaive prices the single-psum weight-stationary walk.
+func dataflowNaive(cfg arch.Config, lws []*nn.Lowered, k dataflow.Costs) ([]dataflow.Choice, float64) {
+	var total float64
+	out := make([]dataflow.Choice, len(lws))
+	for i, lw := range lws {
+		cands := dataflow.Enumerate(cfg, lw, k)
+		// First candidate: weight-stationary, psum block 1.
+		out[i] = cands[0]
+		total += cands[0].EnergyPJ
+	}
+	return out, total
+}

@@ -1,0 +1,251 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bittactical/internal/arch"
+	"bittactical/internal/energy"
+	"bittactical/internal/memory"
+	"bittactical/internal/nn"
+	"bittactical/internal/sched"
+	"bittactical/internal/sim"
+)
+
+// fig8aConfigs are Figure 8a's front-end sweep, in the paper's order.
+var fig8aConfigs = []string{
+	"L4<1,2>", "L8<1,6>", "L8<2,5>", "L8<3,4>", "L8<4,3>", "L8<5,2>",
+	"L8<6,1>", "T8<2,5>", "X<inf,15>",
+}
+
+// Fig8a reproduces Figure 8a: speedup from front-end weight skipping alone
+// (bit-parallel back-end), reporting lookahead-only and full (lookahead +
+// lookaside) speedups per configuration.
+func Fig8a(o Options) (*Table, error) {
+	wls, err := buildWorkloads(o, o.zoo().Width)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:     "fig8a",
+		Title:  "Speedup with front-end weight skipping only (bottom: lookahead only, top: +lookaside)",
+		Header: []string{"Config"},
+	}
+	for _, wl := range wls {
+		t.Header = append(t.Header, wl.Model.Name)
+	}
+	t.Header = append(t.Header, "Geomean")
+
+	type job struct{ cfgIdx, wlIdx, mode int } // mode 0 = lookahead-only, 1 = full
+	var jobs []job
+	for ci := range fig8aConfigs {
+		for wi := range wls {
+			jobs = append(jobs, job{ci, wi, 0}, job{ci, wi, 1})
+		}
+	}
+	speed := make([][2][]float64, len(fig8aConfigs))
+	for i := range speed {
+		speed[i][0] = make([]float64, len(wls))
+		speed[i][1] = make([]float64, len(wls))
+	}
+	errs := make([]error, len(jobs))
+	parallelDo(o, len(jobs), func(i int) {
+		j := jobs[i]
+		p, err := sched.ByName(fig8aConfigs[j.cfgIdx])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		if j.mode == 0 {
+			if p.Infinite {
+				speed[j.cfgIdx][0][j.wlIdx] = 1 // X has no lookahead-only form
+				return
+			}
+			p = p.LookaheadOnly()
+		}
+		cfg := arch.FrontEndOnly(p)
+		res, err := simulateAll(cfg, wls[j.wlIdx], nil)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		speed[j.cfgIdx][j.mode][j.wlIdx] = res.Speedup()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for ci, name := range fig8aConfigs {
+		for _, mode := range []int{0, 1} {
+			label := name + " (la-only)"
+			if mode == 1 {
+				label = name
+			}
+			if name == "X<inf,15>" && mode == 0 {
+				continue
+			}
+			row := []string{label}
+			for wi := range wls {
+				row = append(row, f2(speed[ci][mode][wi]))
+			}
+			row = append(row, f2(geomean(speed[ci][mode])))
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return t, nil
+}
+
+// fig8bConfigs returns Figure 8b's six accelerator configurations: both
+// back-ends over <1,6>, <2,5> and <4,3>; the <2,5> designs use the Trident
+// interconnect (Section 6.2), the others the L shape.
+func fig8bConfigs() []arch.Config {
+	pats := []sched.Pattern{sched.L(1, 6), sched.T(2, 5), sched.L(4, 3)}
+	var out []arch.Config
+	for _, be := range []arch.BackEnd{arch.TCLp, arch.TCLe} {
+		for _, p := range pats {
+			out = append(out, arch.NewTCL(p, be))
+		}
+	}
+	return out
+}
+
+// Fig8b reproduces Figure 8b: full TCLp and TCLe speedups over DaDianNao++
+// for all layers.
+func Fig8b(o Options) (*Table, error) {
+	wls, err := buildWorkloads(o, o.zoo().Width)
+	if err != nil {
+		return nil, err
+	}
+	return backEndSweep(o, wls, "fig8b", "Speedup with activation back-ends (all layers)")
+}
+
+// backEndSweep runs fig8bConfigs over the workloads (shared with Fig13).
+func backEndSweep(o Options, wls []*workload, id, title string) (*Table, error) {
+	cfgs := fig8bConfigs()
+	for i := range cfgs {
+		cfgs[i] = cfgs[i].WithWidth(wls[0].Model.Width)
+	}
+	t := &Table{ID: id, Title: title, Header: []string{"Config"}}
+	for _, wl := range wls {
+		t.Header = append(t.Header, wl.Model.Name)
+	}
+	t.Header = append(t.Header, "Geomean")
+
+	type job struct{ ci, wi int }
+	var jobs []job
+	for ci := range cfgs {
+		for wi := range wls {
+			jobs = append(jobs, job{ci, wi})
+		}
+	}
+	speed := make([][]float64, len(cfgs))
+	for i := range speed {
+		speed[i] = make([]float64, len(wls))
+	}
+	errs := make([]error, len(jobs))
+	parallelDo(o, len(jobs), func(i int) {
+		j := jobs[i]
+		res, err := simulateAll(cfgs[j.ci], wls[j.wi], nil)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		speed[j.ci][j.wi] = res.Speedup()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for ci, cfg := range cfgs {
+		label := fmt.Sprintf("%s<%d,%d>", cfg.BackEnd, cfg.Pattern.H, cfg.Pattern.D)
+		row := []string{label}
+		for wi := range wls {
+			row = append(row, f1(speed[ci][wi]))
+		}
+		row = append(row, f1(geomean(speed[ci])))
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// Fig8c reproduces Figure 8c: per-image energy breakdown (logic, on-chip
+// buffers, off-chip transfers) and energy efficiency relative to
+// DaDianNao++, over convolutional layers (Section 6.2 limits attention to
+// conv layers to enable the SCNN comparison).
+func Fig8c(o Options) (*Table, error) {
+	wls, err := buildWorkloads(o, o.zoo().Width)
+	if err != nil {
+		return nil, err
+	}
+	cfgs := []arch.Config{
+		arch.DaDianNaoPP(),
+		arch.NewTCL(sched.T(2, 5), arch.TCLp),
+		arch.NewTCL(sched.T(2, 5), arch.TCLe),
+	}
+	tech, _ := memory.TechByName("LPDDR4-3200")
+	k := energy.Defaults65nm()
+	t := &Table{
+		ID:     "fig8c",
+		Title:  "Energy breakdown (uJ/image, conv layers) and efficiency vs DaDianNao++",
+		Header: []string{"Model", "Config", "Logic", "On-chip", "Off-chip", "Total", "Efficiency"},
+	}
+	type cell struct{ b energy.Breakdown }
+	grid := make([][]cell, len(wls))
+	for i := range grid {
+		grid[i] = make([]cell, len(cfgs))
+	}
+	parallelDo(o, len(wls)*len(cfgs), func(i int) {
+		wi, ci := i/len(cfgs), i%len(cfgs)
+		wl, cfg := wls[wi], cfgs[ci]
+		var sum energy.Breakdown
+		for li, lw := range wl.Low {
+			if wl.Model.Layers[li].Kind == nn.FC {
+				continue
+			}
+			r := sim.SimulateLayer(cfg, lw)
+			tr := memory.LayerTraffic(cfg, lw)
+			sum.Add(energy.Price(cfg, r.Activity, tr, tech, k))
+		}
+		grid[wi][ci] = cell{b: sum}
+	})
+	uj := func(pj float64) string { return fmt.Sprintf("%.1f", pj*1e-6) }
+	var effP, effE []float64
+	for wi, wl := range wls {
+		base := grid[wi][0].b.TotalPJ()
+		for ci, cfg := range cfgs {
+			b := grid[wi][ci].b
+			eff := base / b.TotalPJ()
+			t.Rows = append(t.Rows, []string{
+				wl.Model.Name, cfg.Name, uj(b.LogicPJ), uj(b.OnChipPJ),
+				uj(b.OffChipPJ), uj(b.TotalPJ()), f2(eff),
+			})
+			switch ci {
+			case 1:
+				effP = append(effP, eff)
+			case 2:
+				effE = append(effE, eff)
+			}
+		}
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("average efficiency: TCLp %.2fx, TCLe %.2fx (paper: 2.22x / 2.13x)",
+			geomean(effP), geomean(effE)))
+	return t, nil
+}
+
+// simulateAll simulates every layer of a workload under cfg; layerFilter
+// (when non-nil) selects layers.
+func simulateAll(cfg arch.Config, wl *workload, layerFilter func(*nn.Layer) bool) (*sim.Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &sim.Result{Config: cfg.Name}
+	for li, lw := range wl.Low {
+		if layerFilter != nil && !layerFilter(wl.Model.Layers[li]) {
+			continue
+		}
+		res.Layers = append(res.Layers, sim.SimulateLayer(cfg, lw))
+	}
+	return res, nil
+}

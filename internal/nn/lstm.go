@@ -1,0 +1,190 @@
+package nn
+
+import (
+	"fmt"
+
+	"bittactical/internal/fixed"
+	"bittactical/internal/tensor"
+)
+
+// This file implements the fixed-point LSTM cell behind the Bi-LSTM
+// workload: the reference forward pass for the recurrent layers whose gate
+// projections the zoo exposes to the accelerators as weight-sharing FC
+// layers. The accelerator sees only the projections (the element-wise gate
+// arithmetic is a negligible fraction of the work, Section 5.3 — the paper
+// suggests a small vector unit for it); this cell provides the golden
+// functional semantics and generates self-consistent per-timestep
+// activation streams.
+
+// rescaleQ converts a Q(from) value to Q(to), truncating toward negative
+// infinity on narrowing (the hardware's arithmetic shift).
+func rescaleQ(x int64, from, to int) int64 {
+	if from >= to {
+		return x >> uint(from-to)
+	}
+	return x << uint(to-from)
+}
+
+// sigmoidQ is a piecewise-linear fixed-point sigmoid on Q(frac) inputs,
+// producing Q15 outputs in [0, 1) — the standard hard-sigmoid of embedded
+// inference: σ(x) ≈ clamp(0.25·x + 0.5, 0, 1).
+func sigmoidQ(x int64, frac int) int32 {
+	half := int64(1) << 14            // 0.5 in Q15
+	v := rescaleQ(x, frac, 13) + half // 0.25·x in Q15 = x·2^(13-frac)
+	if v < 0 {
+		return 0
+	}
+	if v > (1<<15)-1 {
+		return (1 << 15) - 1
+	}
+	return int32(v)
+}
+
+// tanhQ is the matching hard-tanh: clamp(x, -1, 1) in Q15.
+func tanhQ(x int64, frac int) int32 {
+	v := rescaleQ(x, frac, 15)
+	if v > (1<<15)-1 {
+		return (1 << 15) - 1
+	}
+	if v < -(1<<15)+1 {
+		return -(1 << 15) + 1
+	}
+	return int32(v)
+}
+
+// LSTMCell is one direction of a recurrent layer in fixed point.
+type LSTMCell struct {
+	// Hidden is the state width; Input the input feature width.
+	Hidden, Input int
+	// Wx projects the input (4·Hidden × Input), Wh the recurrent state
+	// (4·Hidden × Hidden); gate order is [input, forget, cell, output].
+	Wx, Wh *tensor.T
+	// WFrac is the weight scale; AFrac the input scale.
+	WFrac, AFrac int
+}
+
+// NewLSTMCell allocates a cell with zero weights.
+func NewLSTMCell(input, hidden, wFrac, aFrac int) *LSTMCell {
+	return &LSTMCell{
+		Hidden: hidden, Input: input,
+		Wx:    tensor.New(4*hidden, input, 1, 1),
+		Wh:    tensor.New(4*hidden, hidden, 1, 1),
+		WFrac: wFrac, AFrac: aFrac,
+	}
+}
+
+// Validate checks shapes.
+func (c *LSTMCell) Validate() error {
+	if c.Wx.Shape != (tensor.Shape{4 * c.Hidden, c.Input, 1, 1}) {
+		return fmt.Errorf("nn: lstm Wx shape %v", c.Wx.Shape)
+	}
+	if c.Wh.Shape != (tensor.Shape{4 * c.Hidden, c.Hidden, 1, 1}) {
+		return fmt.Errorf("nn: lstm Wh shape %v", c.Wh.Shape)
+	}
+	return nil
+}
+
+// State is the cell's recurrent state: h in Q(AFrac) codes, cLong in Q15.
+type State struct {
+	H []int32
+	C []int32
+}
+
+// NewState returns the zero state.
+func (c *LSTMCell) NewState() State {
+	return State{H: make([]int32, c.Hidden), C: make([]int32, c.Hidden)}
+}
+
+// Step consumes one input vector (Q(AFrac) codes, length Input) and
+// advances the state, returning the new hidden vector in Q(AFrac) codes at
+// width w. This is the golden model: the accelerator computes the same
+// Wx·x and Wh·h projections through its datapath; everything after the
+// projections is element-wise.
+func (c *LSTMCell) Step(x []int32, s *State, w fixed.Width) ([]int32, error) {
+	if len(x) != c.Input {
+		return nil, fmt.Errorf("nn: lstm input %d, want %d", len(x), c.Input)
+	}
+	if len(s.H) != c.Hidden || len(s.C) != c.Hidden {
+		return nil, fmt.Errorf("nn: lstm state size mismatch")
+	}
+	accFrac := c.WFrac + c.AFrac
+	out := make([]int32, c.Hidden)
+	for j := 0; j < c.Hidden; j++ {
+		var gates [4]int64
+		for g := 0; g < 4; g++ {
+			row := g*c.Hidden + j
+			var acc int64
+			for i := 0; i < c.Input; i++ {
+				acc += int64(c.Wx.At(row, i, 0, 0)) * int64(x[i])
+			}
+			for i := 0; i < c.Hidden; i++ {
+				acc += int64(c.Wh.At(row, i, 0, 0)) * int64(s.H[i])
+			}
+			gates[g] = acc
+		}
+		iG := int64(sigmoidQ(gates[0], accFrac)) // Q15
+		fG := int64(sigmoidQ(gates[1], accFrac))
+		cG := int64(tanhQ(gates[2], accFrac)) // Q15
+		oG := int64(sigmoidQ(gates[3], accFrac))
+		// c' = f·c + i·g, all Q15: products are Q30, renormalize.
+		cNew := (fG*int64(s.C[j]) + iG*cG) >> 15
+		if cNew > (1<<15)-1 {
+			cNew = (1 << 15) - 1
+		}
+		if cNew < -(1<<15)+1 {
+			cNew = -(1 << 15) + 1
+		}
+		s.C[j] = int32(cNew)
+		// h' = o·tanh(c'), Q30 -> Q(AFrac) codes at width w.
+		hQ30 := oG * int64(tanhQ(cNew<<15, 30))
+		h := fixed.RequantizeProduct(hQ30, 30-c.AFrac, w)
+		s.H[j] = h
+		out[j] = h
+	}
+	return out, nil
+}
+
+// Run processes a sequence (timesteps × Input) and returns the hidden
+// sequence (timesteps × Hidden).
+func (c *LSTMCell) Run(xs [][]int32, w fixed.Width) ([][]int32, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	s := c.NewState()
+	out := make([][]int32, len(xs))
+	for t, x := range xs {
+		h, err := c.Step(x, &s, w)
+		if err != nil {
+			return nil, err
+		}
+		out[t] = h
+	}
+	return out, nil
+}
+
+// BiLSTMRun runs a forward and a backward cell over the sequence and
+// concatenates their hidden vectors per timestep, the Bi-LSTM layer
+// semantics.
+func BiLSTMRun(fwd, bwd *LSTMCell, xs [][]int32, w fixed.Width) ([][]int32, error) {
+	hf, err := fwd.Run(xs, w)
+	if err != nil {
+		return nil, err
+	}
+	rev := make([][]int32, len(xs))
+	for i := range xs {
+		rev[i] = xs[len(xs)-1-i]
+	}
+	hbRev, err := bwd.Run(rev, w)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]int32, len(xs))
+	for t := range xs {
+		hb := hbRev[len(xs)-1-t]
+		cat := make([]int32, 0, len(hf[t])+len(hb))
+		cat = append(cat, hf[t]...)
+		cat = append(cat, hb...)
+		out[t] = cat
+	}
+	return out, nil
+}

@@ -1,0 +1,190 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"bittactical/internal/fixed"
+	"bittactical/internal/sparsity"
+)
+
+func mkCell(t *testing.T, seed int64, input, hidden int) *LSTMCell {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	c := NewLSTMCell(input, hidden, 12, 8)
+	sparsity.WeightModel{Sigma: 200}.FillPruned(rng, c.Wx, fixed.W16, 0.5)
+	sparsity.WeightModel{Sigma: 200}.FillPruned(rng, c.Wh, fixed.W16, 0.5)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSigmoidQEndpoints(t *testing.T) {
+	// σ(0) = 0.5; large positive saturates at ~1; large negative at 0.
+	if got := sigmoidQ(0, 20); got != 1<<14 {
+		t.Errorf("sigmoid(0) = %d, want %d (0.5 in Q15)", got, 1<<14)
+	}
+	if got := sigmoidQ(1<<30, 20); got != (1<<15)-1 {
+		t.Errorf("sigmoid(+inf) = %d", got)
+	}
+	if got := sigmoidQ(-(1 << 30), 20); got != 0 {
+		t.Errorf("sigmoid(-inf) = %d", got)
+	}
+	// Monotone.
+	prev := int32(-1)
+	for x := int64(-1 << 22); x <= 1<<22; x += 1 << 18 {
+		v := sigmoidQ(x, 20)
+		if v < prev {
+			t.Fatalf("sigmoid not monotone at %d", x)
+		}
+		prev = v
+	}
+}
+
+func TestTanhQEndpoints(t *testing.T) {
+	if got := tanhQ(0, 20); got != 0 {
+		t.Errorf("tanh(0) = %d", got)
+	}
+	if got := tanhQ(1<<40, 20); got != (1<<15)-1 {
+		t.Errorf("tanh(+inf) = %d", got)
+	}
+	if got := tanhQ(-(1 << 40), 20); got != -(1<<15)+1 {
+		t.Errorf("tanh(-inf) = %d", got)
+	}
+	// Identity region: tanh(0.25) ≈ 0.25 in Q15 (hard-tanh).
+	q := int64(1) << 18 // 0.25 in Q20
+	if got := tanhQ(q, 20); got != 1<<13 {
+		t.Errorf("hard-tanh(0.25) = %d, want %d", got, 1<<13)
+	}
+}
+
+func TestLSTMStepShapes(t *testing.T) {
+	c := mkCell(t, 1, 12, 8)
+	s := c.NewState()
+	x := make([]int32, 12)
+	h, err := c.Step(x, &s, fixed.W16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h) != 8 {
+		t.Fatalf("hidden size %d", len(h))
+	}
+	if _, err := c.Step(make([]int32, 5), &s, fixed.W16); err == nil {
+		t.Error("accepted wrong input size")
+	}
+}
+
+func TestLSTMZeroInputZeroStateGates(t *testing.T) {
+	// All-zero input and state: gates see 0 → σ=0.5, tanh=0 → c'=0, h'=0.
+	c := mkCell(t, 2, 6, 4)
+	s := c.NewState()
+	h, err := c.Step(make([]int32, 6), &s, fixed.W16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, v := range h {
+		if v != 0 {
+			t.Errorf("h[%d] = %d, want 0", j, v)
+		}
+		if s.C[j] != 0 {
+			t.Errorf("c[%d] = %d, want 0", j, s.C[j])
+		}
+	}
+}
+
+func TestLSTMStateEvolves(t *testing.T) {
+	c := mkCell(t, 3, 10, 6)
+	rng := rand.New(rand.NewSource(4))
+	xs := make([][]int32, 12)
+	for t := range xs {
+		xs[t] = make([]int32, 10)
+		for i := range xs[t] {
+			xs[t][i] = int32(rng.Intn(512) - 256)
+		}
+	}
+	hs, err := c.Run(xs, fixed.W16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hs) != 12 {
+		t.Fatalf("got %d outputs", len(hs))
+	}
+	nonZero := 0
+	for _, h := range hs {
+		for _, v := range h {
+			if v != 0 {
+				nonZero++
+			}
+			if v > 32767 || v < -32767 {
+				t.Fatalf("hidden value %d out of 16b range", v)
+			}
+		}
+	}
+	if nonZero == 0 {
+		t.Error("LSTM produced an all-zero hidden sequence on non-zero input")
+	}
+}
+
+func TestLSTMCellStateBounded(t *testing.T) {
+	// Saturating arithmetic: the cell state stays in Q15 range under a long
+	// constant drive (the classic unbounded-integrator failure mode).
+	c := mkCell(t, 5, 4, 4)
+	s := c.NewState()
+	x := []int32{200, -150, 100, 250}
+	for t2 := 0; t2 < 200; t2++ {
+		if _, err := c.Step(x, &s, fixed.W16); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j, v := range s.C {
+		if v > (1<<15)-1 || v < -(1<<15)+1 {
+			t.Errorf("cell state %d unbounded: %d", j, v)
+		}
+	}
+}
+
+func TestBiLSTMConcatenation(t *testing.T) {
+	fwd := mkCell(t, 6, 8, 5)
+	bwd := mkCell(t, 7, 8, 5)
+	rng := rand.New(rand.NewSource(8))
+	xs := make([][]int32, 9)
+	for t2 := range xs {
+		xs[t2] = make([]int32, 8)
+		for i := range xs[t2] {
+			xs[t2][i] = int32(rng.Intn(256) - 128)
+		}
+	}
+	out, err := BiLSTMRun(fwd, bwd, xs, fixed.W16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 9 || len(out[0]) != 10 {
+		t.Fatalf("bi-lstm output %dx%d, want 9x10", len(out), len(out[0]))
+	}
+	// The forward half of timestep 0 equals a fresh forward run's first
+	// output; the backward half equals the reverse run's last state.
+	fh, _ := mkCellClone(fwd).Run(xs, fixed.W16)
+	for i := 0; i < 5; i++ {
+		if out[0][i] != fh[0][i] {
+			t.Fatalf("forward half mismatch at %d", i)
+		}
+	}
+}
+
+// mkCellClone deep-copies a cell (fresh state semantics are in Run already;
+// weights are shared safely since Run never mutates them, but be explicit).
+func mkCellClone(c *LSTMCell) *LSTMCell {
+	n := NewLSTMCell(c.Input, c.Hidden, c.WFrac, c.AFrac)
+	copy(n.Wx.Data, c.Wx.Data)
+	copy(n.Wh.Data, c.Wh.Data)
+	return n
+}
+
+func TestLSTMValidate(t *testing.T) {
+	c := NewLSTMCell(6, 4, 12, 8) // Input != Hidden so the shapes differ
+	c.Wx = c.Wh                   // wrong shape for Wx
+	if c.Validate() == nil {
+		t.Error("Validate accepted mismatched Wx")
+	}
+}

@@ -1,0 +1,121 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bittactical/internal/fixed"
+	"bittactical/internal/sparsity"
+	"bittactical/internal/tensor"
+)
+
+// Model is the evaluation-facing form of a network: an explicit list of
+// compute layers with fully-resolved geometry (branching topologies such as
+// GoogLeNet's inception modules flatten to their layer lists — accelerator
+// timing and energy depend only on per-layer geometry and values), plus the
+// calibrated activation distribution that stands in for real traces.
+//
+// Pooling layers are omitted: the paper states TCL matches the bit-parallel
+// baseline on them, so they are timing-neutral in every relative result.
+type Model struct {
+	Name   string
+	Width  fixed.Width
+	Layers []*Layer
+	// Act is the calibrated per-network input-activation distribution
+	// (DESIGN.md §2 substitution for real IMAGENET/speech activations).
+	Act sparsity.ActModel
+	// TargetWeightSparsity is the aggregate pruning level the zoo aimed for.
+	TargetWeightSparsity float64
+}
+
+// TotalMACs sums dense MACs over all layers.
+func (m *Model) TotalMACs() int64 {
+	var t int64
+	for _, l := range m.Layers {
+		t += l.MACs()
+	}
+	return t
+}
+
+// WeightSparsity returns the reuse-weighted zero-weight fraction.
+func (m *Model) WeightSparsity() float64 {
+	var zero, total float64
+	for _, l := range m.Layers {
+		reuse := float64(l.Windows())
+		e := float64(l.Weights.Shape.Elems())
+		total += e * reuse
+		zero += e * reuse * l.Weights.Sparsity()
+	}
+	if total == 0 {
+		return 0
+	}
+	return zero / total
+}
+
+// GenerateActs synthesizes each layer's input activation tensor from the
+// model's activation distribution. Conv/Depthwise layers receive a
+// (1, C, InH, InW) tensor; FC layers a (1, C, 1, Timesteps) tensor so every
+// timestep sees distinct values. Deterministic in seed.
+//
+// The distribution is calibrated at 16 bits; an 8-bit model samples the
+// same law and requantizes range-obliviously (Section 6.5): the value range
+// maps onto the 8-bit grid, dropping the low 8 bits. Because activations
+// carry a bounded number of significant bits (ActModel.SigBits), the
+// precision window survives requantization mostly intact — the reason
+// Figure 13's speedups shrink by the width ratio but remain considerable —
+// while values below the new LSB round to zero.
+func (m *Model) GenerateActs(seed int64) []*tensor.T {
+	rng := rand.New(rand.NewSource(seed))
+	outs := make([]*tensor.T, len(m.Layers))
+	for i, l := range m.Layers {
+		var t *tensor.T
+		switch l.Kind {
+		case FC:
+			t = tensor.New(1, l.C, 1, l.Windows())
+		default:
+			t = tensor.New(1, l.C, l.InH, l.InW)
+		}
+		m.Act.FillTensor(rng, t, fixed.W16)
+		if m.Width == fixed.W8 {
+			t = sparsity.Requantize8(t)
+		}
+		outs[i] = t
+	}
+	return outs
+}
+
+// Lowered lowers every layer against the given activation tensors.
+func (m *Model) Lowered(lanes int, acts []*tensor.T) ([]*Lowered, error) {
+	if len(acts) != len(m.Layers) {
+		return nil, fmt.Errorf("nn: %s: %d act tensors for %d layers", m.Name, len(acts), len(m.Layers))
+	}
+	outs := make([]*Lowered, len(m.Layers))
+	for i, l := range m.Layers {
+		lw, err := Lower(l, acts[i], lanes)
+		if err != nil {
+			return nil, err
+		}
+		outs[i] = lw
+	}
+	return outs, nil
+}
+
+// Quantize8 returns a copy of the model with weights requantized to 8 bits
+// by the paper's range-oblivious rule (Section 6.5). Activation width
+// switches to 8 bits as well; GenerateActs on the result draws codes whose
+// log-magnitude distribution is the 16-bit distribution shifted down 8 bits
+// (exactly what requantizing the same real values produces).
+func (m *Model) Quantize8() *Model {
+	q := &Model{
+		Name:                 m.Name + "-8b",
+		Width:                fixed.W8,
+		Act:                  m.Act,
+		TargetWeightSparsity: m.TargetWeightSparsity,
+	}
+	for _, l := range m.Layers {
+		nl := *l
+		nl.Weights = sparsity.Requantize8(l.Weights)
+		q.Layers = append(q.Layers, &nl)
+	}
+	return q
+}

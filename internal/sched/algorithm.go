@@ -1,0 +1,385 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Algorithm selects the promotion heuristic.
+type Algorithm int
+
+const (
+	// Algorithm1 is the paper's scheduler (Section 4): at each window
+	// position it counts, for every ineffectual slot, how many effectual
+	// weights could be promoted into it, and fills the least-flexible
+	// (ideally exclusive) slots first, avoiding the blocked-promotion
+	// pathology of Figure 4.
+	Algorithm1 Algorithm = iota
+	// GreedySimple is the baseline scheduler of Figure 11b: lanes claim the
+	// first reachable weight in fixed order, with no exclusivity analysis.
+	GreedySimple
+	// Matching fills each column with a maximum bipartite matching between
+	// free lanes and reachable weights (Kuhn's augmenting paths) — the
+	// per-column optimum, an upper bound on what Algorithm 1's
+	// exclusive-first heuristic can achieve within a single column. It is
+	// an extension beyond the paper, used to measure how close Algorithm 1
+	// gets to column-optimal.
+	Matching
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case GreedySimple:
+		return "greedy"
+	case Matching:
+		return "matching"
+	default:
+		return "algorithm1"
+	}
+}
+
+// ScheduleFilter schedules a single filter.
+func ScheduleFilter(f Filter, p Pattern, alg Algorithm) *Schedule {
+	return ScheduleGroup([]Filter{f}, p, alg)[0]
+}
+
+// ScheduleGroup jointly schedules the filters that share a tile's activation
+// window (one per PE row). The ASU and its ALC advance are physically shared
+// across rows (Section 5.2: all ASU slices operate in tandem), so the window
+// slides only when every filter has consumed the head step; a filter that
+// drains early idles until the group finishes — the inter-filter
+// synchronization charged as lost time in Figure 9.
+//
+// All returned schedules have identical column counts, heads, and advances.
+func ScheduleGroup(filters []Filter, p Pattern, alg Algorithm) []*Schedule {
+	if len(filters) == 0 {
+		return nil
+	}
+	lanes, steps := filters[0].Lanes, filters[0].Steps
+	for _, f := range filters {
+		if f.Lanes != lanes || f.Steps != steps {
+			panic(fmt.Sprintf("sched: group filters disagree on geometry (%dx%d vs %dx%d)",
+				f.Steps, f.Lanes, steps, lanes))
+		}
+	}
+	if p.Infinite {
+		return scheduleInfinite(filters)
+	}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+
+	nf := len(filters)
+	done := make([][]bool, nf)
+	stepPending := make([][]int, nf)
+	pending := 0
+	for i, f := range filters {
+		done[i] = make([]bool, steps*lanes)
+		stepPending[i] = make([]int, steps)
+		for st := 0; st < steps; st++ {
+			for ln := 0; ln < lanes; ln++ {
+				if f.W[st*lanes+ln] != 0 {
+					stepPending[i][st]++
+					pending++
+				}
+			}
+		}
+	}
+	out := make([]*Schedule, nf)
+	for i := range out {
+		out[i] = &Schedule{Lanes: lanes, DenseSteps: steps}
+	}
+
+	stepClear := func(st int) bool {
+		for i := range filters {
+			if stepPending[i][st] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+
+	head := 0
+	for head < steps && stepClear(head) {
+		head++ // skip leading all-ineffectual steps (ALC pre-advance)
+	}
+	for pending > 0 {
+		for i, f := range filters {
+			col := Column{Head: head, Entries: make([]Entry, lanes)}
+			buildColumn(f, p, alg, done[i], stepPending[i], head, col.Entries)
+			out[i].Columns = append(out[i].Columns, col)
+		}
+		// Count what each filter executed this column against pending.
+		for i := range filters {
+			cols := out[i].Columns
+			for _, e := range cols[len(cols)-1].Entries {
+				if e.Weight != 0 {
+					pending--
+				}
+			}
+		}
+		// Shared ALC advance: slide past every fully-consumed step.
+		adv := 0
+		for head+adv < steps && stepClear(head+adv) {
+			adv++
+		}
+		if adv == 0 {
+			// Cannot happen: the head step is always consumed in-column.
+			panic("sched: window failed to advance")
+		}
+		if pending == 0 {
+			// Remaining steps (if any) are all ineffectual; the ALC skips
+			// them outright.
+			adv = steps - head
+			if adv < 1 {
+				adv = 1
+			}
+		}
+		for i := range filters {
+			out[i].Columns[len(out[i].Columns)-1].Advance = adv
+		}
+		head += adv
+	}
+	return out
+}
+
+// cand is a reachable promotion candidate for one lane.
+type cand struct {
+	off     Offset
+	srcStep int
+	srcLane int
+}
+
+// buildColumn fills entries for one filter at the given head, marking
+// executed weights in done/stepPending. Returns the number of idle lanes.
+func buildColumn(f Filter, p Pattern, alg Algorithm, done []bool, stepPending []int, head int, entries []Entry) int {
+	lanes, steps := f.Lanes, f.Steps
+	take := func(lane, srcStep, srcLane, dt, dl int) {
+		pos := srcStep*lanes + srcLane
+		entries[lane] = Entry{Weight: f.W[pos], SrcStep: srcStep, SrcLane: srcLane, Dt: dt, Dl: dl}
+		done[pos] = true
+		stepPending[srcStep]--
+	}
+
+	assigned := make([]bool, lanes)
+	// Pass 1: effectual weights at the head execute in place.
+	for ln := 0; ln < lanes; ln++ {
+		pos := head*lanes + ln
+		if f.W[pos] != 0 && !done[pos] {
+			take(ln, head, ln, 0, 0)
+			assigned[ln] = true
+		}
+	}
+
+	candidatesOf := func(lane int) []cand {
+		var cs []cand
+		for _, o := range p.Offsets {
+			u := head + o.Dt
+			if u >= steps {
+				continue
+			}
+			v := ((lane+o.Dl)%lanes + lanes) % lanes
+			pos := u*lanes + v
+			if f.W[pos] != 0 && !done[pos] {
+				cs = append(cs, cand{off: o, srcStep: u, srcLane: v})
+			}
+		}
+		return cs
+	}
+
+	idle := 0
+	switch alg {
+	case Matching:
+		// Maximum bipartite matching between free lanes and reachable
+		// weights; candidates are ordered earliest-step-first so augmenting
+		// favors draining the window head.
+		laneCands := make(map[int][]cand)
+		posOwner := map[int]int{} // weight position -> lane
+		for ln := 0; ln < lanes; ln++ {
+			if assigned[ln] {
+				continue
+			}
+			cs := candidatesOf(ln)
+			sort.Slice(cs, func(a, b int) bool { return better(cs[a], cs[b]) })
+			laneCands[ln] = cs
+		}
+		laneMatch := map[int]cand{}
+		var try func(ln int, visited map[int]bool) bool
+		try = func(ln int, visited map[int]bool) bool {
+			for _, c := range laneCands[ln] {
+				pos := c.srcStep*lanes + c.srcLane
+				if visited[pos] {
+					continue
+				}
+				visited[pos] = true
+				owner, taken := posOwner[pos]
+				if !taken || try(owner, visited) {
+					posOwner[pos] = ln
+					laneMatch[ln] = c
+					return true
+				}
+			}
+			return false
+		}
+		for ln := range laneCands {
+			try(ln, map[int]bool{})
+		}
+		for ln, c := range laneMatch {
+			if posOwner[c.srcStep*lanes+c.srcLane] != ln {
+				continue // displaced by an augmenting path
+			}
+			take(ln, c.srcStep, c.srcLane, c.off.Dt, c.off.Dl)
+			assigned[ln] = true
+		}
+		for ln := 0; ln < lanes; ln++ {
+			if !assigned[ln] {
+				idle++
+			}
+		}
+	case GreedySimple:
+		for ln := 0; ln < lanes; ln++ {
+			if assigned[ln] {
+				continue
+			}
+			cs := candidatesOf(ln)
+			if len(cs) == 0 {
+				idle++
+				continue
+			}
+			c := cs[0]
+			take(ln, c.srcStep, c.srcLane, c.off.Dt, c.off.Dl)
+			assigned[ln] = true
+		}
+	default: // Algorithm1
+		for {
+			type laneCands struct {
+				lane int
+				cs   []cand
+			}
+			var open []laneCands
+			for ln := 0; ln < lanes; ln++ {
+				if assigned[ln] {
+					continue
+				}
+				if cs := candidatesOf(ln); len(cs) > 0 {
+					open = append(open, laneCands{lane: ln, cs: cs})
+				}
+			}
+			if len(open) == 0 {
+				break
+			}
+			// Fill the least-flexible slot first (exclusive promotions when
+			// the minimum is 1), per Algorithm 1 lines 13–24. Ties go to the
+			// slot whose best candidate moves the least (in-lane lookahead
+			// before lane-crossing lookaside), then to the lowest lane.
+			bests := make([]cand, len(open))
+			for i, oc := range open {
+				b := oc.cs[0]
+				for _, c := range oc.cs[1:] {
+					if better(c, b) {
+						b = c
+					}
+				}
+				bests[i] = b
+			}
+			sort.SliceStable(open, func(a, b int) bool {
+				if len(open[a].cs) != len(open[b].cs) {
+					return len(open[a].cs) < len(open[b].cs)
+				}
+				if da, db := abs(bests[a].off.Dl), abs(bests[b].off.Dl); da != db {
+					return da < db
+				}
+				return open[a].lane < open[b].lane
+			})
+			// Recompute the winning slot's best candidate after the sort
+			// (bests was indexed pre-sort).
+			slot := open[0]
+			best := slot.cs[0]
+			for _, c := range slot.cs[1:] {
+				if better(c, best) {
+					best = c
+				}
+			}
+			take(slot.lane, best.srcStep, best.srcLane, best.off.Dt, best.off.Dl)
+			assigned[slot.lane] = true
+		}
+		for ln := 0; ln < lanes; ln++ {
+			if !assigned[ln] {
+				idle++
+			}
+		}
+	}
+	return idle
+}
+
+// better orders promotion candidates: drain the earliest dense step first
+// (maximizing the ALC advance), then prefer the shortest lane displacement
+// (pure lookahead first, leaving lookaside reach for other lanes).
+func better(a, b cand) bool {
+	if a.srcStep != b.srcStep {
+		return a.srcStep < b.srcStep
+	}
+	return abs(a.off.Dl) < abs(b.off.Dl)
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// scheduleInfinite realizes the X<inf,15> upper bound: arbitrary promotion
+// compacts each filter to ⌈nnz/L⌉ columns; the group pads to the slowest
+// filter.
+func scheduleInfinite(filters []Filter) []*Schedule {
+	lanes, steps := filters[0].Lanes, filters[0].Steps
+	maxCols := 0
+	packed := make([][]Entry, len(filters))
+	for i, f := range filters {
+		var es []Entry
+		for st := 0; st < steps; st++ {
+			for ln := 0; ln < lanes; ln++ {
+				if w := f.W[st*lanes+ln]; w != 0 {
+					es = append(es, Entry{Weight: w, SrcStep: st, SrcLane: ln})
+				}
+			}
+		}
+		packed[i] = es
+		if c := (len(es) + lanes - 1) / lanes; c > maxCols {
+			maxCols = c
+		}
+	}
+	out := make([]*Schedule, len(filters))
+	for i, es := range packed {
+		s := &Schedule{Lanes: lanes, DenseSteps: steps}
+		for c := 0; c < maxCols; c++ {
+			col := Column{Head: min(c, steps-1), Advance: 1, Entries: make([]Entry, lanes)}
+			for ln := 0; ln < lanes; ln++ {
+				k := c*lanes + ln
+				if k < len(es) {
+					e := es[k]
+					e.Dt = e.SrcStep - col.Head
+					e.Dl = e.SrcLane - ln
+					col.Entries[ln] = e
+				}
+			}
+			s.Columns = append(s.Columns, col)
+		}
+		if maxCols > 0 {
+			s.Columns[maxCols-1].Advance = steps - s.Columns[maxCols-1].Head
+			if s.Columns[maxCols-1].Advance < 1 {
+				s.Columns[maxCols-1].Advance = 1
+			}
+		}
+		out[i] = s
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

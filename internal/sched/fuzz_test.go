@@ -1,0 +1,93 @@
+package sched
+
+import (
+	"testing"
+)
+
+// FuzzScheduleInvariants drives the three schedulers with arbitrary weight
+// matrices and checks every hardware invariant plus the compaction bounds.
+// Run with `go test -fuzz FuzzScheduleInvariants ./internal/sched` to
+// explore beyond the seed corpus; the seeds run as regular tests.
+func FuzzScheduleInvariants(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 0, 0, 3, 0, 4}, uint8(4), uint8(0))
+	f.Add([]byte{}, uint8(1), uint8(1))
+	f.Add([]byte{255, 255, 255, 255, 255, 255, 255, 255}, uint8(2), uint8(2))
+	f.Fuzz(func(t *testing.T, raw []byte, lanesRaw, pIdx uint8) {
+		lanes := 2 + int(lanesRaw%15) // 2..16
+		if len(raw) == 0 {
+			return
+		}
+		steps := (len(raw) + lanes - 1) / lanes
+		if steps > 64 {
+			steps = 64
+		}
+		w := make([]int32, steps*lanes)
+		for i := range w {
+			if i < len(raw) {
+				w[i] = int32(int8(raw[i])) // signed, zeros possible
+			}
+		}
+		flt := NewFilter(lanes, steps, w, nil)
+		patterns := []Pattern{L(1, 2), L(2, 5), T(2, 5), T(1, 6)}
+		p := patterns[int(pIdx)%len(patterns)]
+		for _, alg := range []Algorithm{Algorithm1, GreedySimple, Matching} {
+			s := ScheduleFilter(flt, p, alg)
+			if err := Verify(flt, p, s); err != nil {
+				t.Fatalf("alg %v pattern %s: %v", alg, p.Name, err)
+			}
+			if lower := (flt.NNZ() + lanes - 1) / lanes; s.Len() < lower {
+				t.Fatalf("schedule %d columns beats perfect compaction %d", s.Len(), lower)
+			}
+			if flt.NNZ() > 0 && s.Len() > steps {
+				t.Fatalf("schedule %d columns exceeds dense %d", s.Len(), steps)
+			}
+		}
+	})
+}
+
+// FuzzGroupScheduleLockstep checks the joint-group invariants: identical
+// column counts, heads and advances across members, and per-member
+// verification.
+func FuzzGroupScheduleLockstep(f *testing.F) {
+	f.Add([]byte{1, 0, 2, 0, 0, 0, 3, 1}, []byte{0, 0, 0, 1, 2, 3, 0, 0})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		const lanes = 4
+		n := len(rawA)
+		if len(rawB) < n {
+			n = len(rawB)
+		}
+		if n == 0 {
+			return
+		}
+		steps := (n + lanes - 1) / lanes
+		if steps > 32 {
+			steps = 32
+		}
+		mk := func(raw []byte) Filter {
+			w := make([]int32, steps*lanes)
+			for i := range w {
+				if i < len(raw) {
+					w[i] = int32(int8(raw[i]))
+				}
+			}
+			return NewFilter(lanes, steps, w, nil)
+		}
+		fa, fb := mk(rawA), mk(rawB)
+		ss := ScheduleGroup([]Filter{fa, fb}, T(2, 5), Algorithm1)
+		if ss[0].Len() != ss[1].Len() {
+			t.Fatal("group schedules diverge in length")
+		}
+		for i := range ss[0].Columns {
+			if ss[0].Columns[i].Head != ss[1].Columns[i].Head ||
+				ss[0].Columns[i].Advance != ss[1].Columns[i].Advance {
+				t.Fatal("group schedules diverge in window state")
+			}
+		}
+		if err := Verify(fa, T(2, 5), ss[0]); err != nil {
+			t.Fatal(err)
+		}
+		if err := Verify(fb, T(2, 5), ss[1]); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,56 @@
+// Package sim is the cycle-level execution model of Bit-Tactical and its
+// dense baseline. It is exact at the schedule-column granularity: the TCL
+// datapath is synchronous at column boundaries (the WS issues one column of
+// weight/mux-select pairs at a time, and all PE columns of a tile share the
+// weight schedule), so accounting column durations reproduces cycle counts
+// (DESIGN.md §2).
+//
+// One Simulate covers the whole family:
+//
+//   - DaDianNao++: no front-end, bit-parallel back-end;
+//   - Figure 8a front-end-only rows: pattern + bit-parallel back-end;
+//   - TCLp / TCLe: pattern + serial back-end;
+//   - Dynamic Stripes / Pragmatic: no front-end + serial back-end.
+package sim
+
+import (
+	"bittactical/internal/arch"
+	"bittactical/internal/bits"
+	"bittactical/internal/fixed"
+)
+
+// costTable memoizes the per-value serial cost of every code at a width:
+// oneffset count for TCLe, dynamic precision bits for TCLp, 1 for the
+// bit-parallel back-end.
+type costTable struct {
+	width fixed.Width
+	tab   []uint8
+}
+
+func newCostTable(be arch.BackEnd, w fixed.Width) *costTable {
+	n := 1 << uint(w)
+	ct := &costTable{width: w, tab: make([]uint8, n)}
+	for i := 0; i < n; i++ {
+		// Reconstruct the signed code from its bit pattern.
+		v := int32(int16(i << (16 - uint(w)) >> (16 - uint(w))))
+		var c int
+		switch be {
+		case arch.TCLe:
+			c = bits.OneffsetCount(v, w)
+		case arch.TCLp:
+			c = bits.ValuePrecision(v, w).Bits()
+		default:
+			c = 1
+		}
+		if c > 255 {
+			c = 255
+		}
+		ct.tab[i] = uint8(c)
+	}
+	return ct
+}
+
+// cost returns the serial cycles the back-end spends on code v.
+func (ct *costTable) cost(v int32) int {
+	return int(ct.tab[uint32(v)&ct.width.Mask()])
+}

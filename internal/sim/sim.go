@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"fmt"
+
+	"bittactical/internal/arch"
+	"bittactical/internal/nn"
+	"bittactical/internal/sched"
+	"bittactical/internal/tensor"
+)
+
+// SimulateModel runs every layer of a model under the configuration.
+func SimulateModel(cfg arch.Config, m *nn.Model, acts []*tensor.T) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	lws, err := m.Lowered(cfg.Lanes, acts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Config: cfg.Name}
+	for _, lw := range lws {
+		res.Layers = append(res.Layers, SimulateLayer(cfg, lw))
+	}
+	return res, nil
+}
+
+// SimulateLayer runs one lowered layer under the configuration and returns
+// cycles, the Figure-9 censuses, and datapath activity.
+//
+// Mapping (Section 5.3): filters are assigned to tiles and PE rows; the
+// serial back-ends process WindowsPerTile activation windows concurrently
+// across PE columns. Layers with fewer windows than columns (CNN
+// fully-connected layers) split the reduction across spare columns instead,
+// combining partial sums over the per-row ring.
+func SimulateLayer(cfg arch.Config, lw *nn.Lowered) LayerResult {
+	if lw.Lanes != cfg.Lanes {
+		panic(fmt.Sprintf("sim: lowered lanes %d != config lanes %d", lw.Lanes, cfg.Lanes))
+	}
+	ct := newCostTable(cfg.BackEnd, cfg.Width)
+	r := LayerResult{Name: lw.Name, MACs: lw.Layer().MACs()}
+
+	rows := cfg.FiltersPerTile
+	steps, F, W := lw.Steps, lw.Filters, lw.WindowCount
+
+	// Dense baseline reference (DaDianNao++ shares the rows/lanes geometry).
+	denseGroups := (F + rows - 1) / rows
+	denseRounds := (denseGroups + cfg.Tiles - 1) / cfg.Tiles
+	r.DenseCycles = int64(denseRounds) * int64(steps) * int64(W)
+
+	pad := padMask(lw)
+
+	// Reduction-split factor for window-poor layers on multi-column tiles.
+	split := 1
+	if W < cfg.WindowsPerTile {
+		split = cfg.WindowsPerTile / W
+		if split < 1 {
+			split = 1
+		}
+	}
+
+	// Activation scratchpad fetches are value-agnostic and identical across
+	// the design family: every input activation is buffered once per kernel
+	// row (row-buffer reuse along x) in each tile that consumes the layer.
+	rowsPerAct := int64(1)
+	if l := lw.Layer(); l.Kind != nn.FC && l.Stride > 0 {
+		rowsPerAct = int64((l.R + l.Stride - 1) / l.Stride)
+	}
+	tilesUsed := denseGroups
+	if tilesUsed > cfg.Tiles {
+		tilesUsed = cfg.Tiles
+	}
+	r.Activity.ActReads = int64(len(lw.Input().Data)) * rowsPerAct * int64(tilesUsed)
+
+	tileTime := make([]int64, cfg.Tiles)
+	for g := 0; g < denseGroups; g++ {
+		f0 := g * rows
+		f1 := f0 + rows
+		if f1 > F {
+			f1 = F
+		}
+		groupCycles := simulateGroup(cfg, lw, ct, pad, f0, f1, &r)
+		if split > 1 {
+			groupCycles = (groupCycles + int64(split) - 1) / int64(split)
+		}
+		tileTime[g%cfg.Tiles] += groupCycles
+	}
+	for _, t := range tileTime {
+		if t > r.Cycles {
+			r.Cycles = t
+		}
+	}
+	return r
+}
+
+// padMask materializes the channel-padding mask of the dense schedule, or
+// nil when the layer has none.
+func padMask(lw *nn.Lowered) []bool {
+	pad := make([]bool, lw.Steps*lw.Lanes)
+	any := false
+	for st := 0; st < lw.Steps; st++ {
+		for ln := 0; ln < lw.Lanes; ln++ {
+			if lw.IsPad(st, ln) {
+				pad[st*lw.Lanes+ln] = true
+				any = true
+			}
+		}
+	}
+	if !any {
+		return nil
+	}
+	return pad
+}
+
+// laneRef is one lane's activation source in one schedule column: the
+// promoted weight's dense position for effectual lanes, the window head for
+// idle ones.
+type laneRef struct {
+	step, lane int32
+	weight     int32 // 0 for idle lanes
+}
+
+// simulateGroup executes one resident filter group (one tile's PE rows)
+// over all windows, accumulating censuses and activity into r, and returns
+// the group's cycle count.
+func simulateGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f0, f1 int, r *LayerResult) int64 {
+	lanes, rows, wg := cfg.Lanes, cfg.FiltersPerTile, cfg.WindowsPerTile
+	steps, W := lw.Steps, lw.WindowCount
+	nrows := f1 - f0
+
+	filters := make([]sched.Filter, nrows)
+	for i := 0; i < nrows; i++ {
+		filters[i] = sched.NewFilter(lanes, steps, lw.FilterRow(f0+i), pad)
+	}
+	var schedules []*sched.Schedule
+	if cfg.HasFrontEnd() {
+		schedules = sched.ScheduleGroup(filters, cfg.Pattern, cfg.Scheduler)
+	} else {
+		schedules = denseSchedules(filters)
+	}
+	cols := 0
+	if nrows > 0 {
+		cols = schedules[0].Len()
+	}
+
+	// Front-end census.
+	for i, s := range schedules {
+		st := s.Stats(filters[i])
+		r.FrontEnd.Columns += st.Columns
+		r.FrontEnd.DenseSteps += st.DenseSteps
+		for k := range st.Slots {
+			r.FrontEnd.Slots[k] += st.Slots[k]
+		}
+	}
+	// Filter-count padding: PE rows beyond the layer's filters idle.
+	r.FrontEnd.Slots[sched.SlotPad] += int64(rows-nrows) * int64(cols) * int64(lanes)
+
+	numWGroups := (W + wg - 1) / wg
+	r.Activity.WSColumnReads += int64(cols) * ceilDiv64(int64(numWGroups), int64(cfg.PsumRegsPerPE))
+	r.Activity.MuxSelects += muxSelects(cfg, schedules, W)
+	r.Activity.PsumAccesses += int64(nrows) * int64(cols) * int64(W)
+
+	if cfg.BackEnd == arch.BitParallel {
+		var macs int64
+		if cfg.HasFrontEnd() {
+			for _, s := range schedules {
+				for _, col := range s.Columns {
+					for _, e := range col.Entries {
+						if e.Weight != 0 {
+							macs++
+						}
+					}
+				}
+			}
+		} else {
+			// The dense baseline multiplies every lane every cycle.
+			macs = int64(nrows) * int64(lanes) * int64(cols)
+		}
+		r.Activity.ParallelMACs += macs * int64(W)
+		return int64(cols) * int64(W)
+	}
+
+	// Serial back-ends: column structure is window-independent; precompute
+	// per-column, per-row lane references once.
+	colRefs := make([][][]laneRef, cols)
+	for ci := 0; ci < cols; ci++ {
+		colRefs[ci] = make([][]laneRef, nrows)
+		for ri := 0; ri < nrows; ri++ {
+			col := schedules[ri].Columns[ci]
+			refs := make([]laneRef, lanes)
+			for ln, e := range col.Entries {
+				if e.Weight != 0 {
+					refs[ln] = laneRef{step: int32(e.SrcStep), lane: int32(e.SrcLane), weight: e.Weight}
+				} else {
+					refs[ln] = laneRef{step: int32(col.Head), lane: int32(ln)}
+				}
+			}
+			colRefs[ci][ri] = refs
+		}
+	}
+
+	// Lanes within a PE are lockstep every column (they feed one adder
+	// tree), so a PE's column duration is the max lane cost ("Column
+	// Sync"). PEs of a tile run decoupled — buffered weight columns and the
+	// per-PE psum registers absorb rate differences across windows and rows
+	// — and synchronize when the resident filter group completes ("implicit
+	// synchronization at the end of each group of concurrently processed
+	// activations", charged as "Tile Sync"). Each PE grid column owns the
+	// windows congruent to its position.
+	gate := cfg.HasFrontEnd()
+	var serial int64
+	peTotals := make([]int64, nrows*wg)
+	for w0 := 0; w0 < W; w0 += wg {
+		w1 := w0 + wg
+		if w1 > W {
+			w1 = W
+		}
+		nw := w1 - w0
+		for ci := 0; ci < cols; ci++ {
+			for ri := 0; ri < nrows; ri++ {
+				refs := colRefs[ci][ri]
+				fIdx := f0 + ri
+				for wi := 0; wi < nw; wi++ {
+					// Pass 1: the PE's column duration.
+					peMax := 1
+					for ln := 0; ln < lanes; ln++ {
+						rf := refs[ln]
+						if gate && rf.weight == 0 {
+							continue
+						}
+						if c := ct.cost(lw.Act(fIdx, w0+wi, int(rf.step), int(rf.lane))); c > peMax {
+							peMax = c
+						}
+					}
+					peTotals[ri*wg+wi] += int64(peMax)
+					// Pass 2: lane census for this PE column.
+					for ln := 0; ln < lanes; ln++ {
+						rf := refs[ln]
+						c := ct.cost(lw.Act(fIdx, w0+wi, int(rf.step), int(rf.lane)))
+						switch {
+						case rf.weight != 0 && c > 0:
+							r.BackEnd.Useful += int64(c)
+							r.BackEnd.ColumnSync += int64(peMax - c)
+							serial += int64(c)
+						case rf.weight != 0:
+							r.BackEnd.AZero += int64(peMax)
+						case c > 0:
+							r.BackEnd.WZero += int64(peMax)
+							if !gate {
+								serial += int64(c)
+							}
+						default:
+							r.BackEnd.BothZero += int64(peMax)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Filter-group duration: the slowest PE of the tile.
+	var groupCycles int64
+	for _, t := range peTotals {
+		if t > groupCycles {
+			groupCycles = t
+		}
+	}
+	// Tile-sync deficit for the PEs that carried work. PE columns with no
+	// windows of their own are either serving reduction slices (the W < wg
+	// split path — their lane time is already accounted on the owning
+	// column) or idled by a partial final window group; neither is a sync
+	// loss, so the census skips them. Absent rows burn the whole duration.
+	for _, t := range peTotals {
+		if t > 0 {
+			r.BackEnd.TileSync += (groupCycles - t) * int64(lanes)
+		}
+	}
+	r.BackEnd.WZero += int64(rows-nrows) * int64(wg) * int64(lanes) * groupCycles
+	r.Activity.SerialLaneCycles += serial
+	if cfg.BackEnd == arch.TCLe {
+		r.Activity.OffsetEncodes += int64(cols) * int64(lanes) * int64(W)
+	}
+	return groupCycles
+}
+
+func ceilDiv64(a, b int64) int64 {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}
+
+// muxSelects counts activation-mux switch events: one per effectual entry
+// per window for front-end configs.
+func muxSelects(cfg arch.Config, schedules []*sched.Schedule, W int) int64 {
+	if !cfg.HasFrontEnd() {
+		return 0
+	}
+	var n int64
+	for _, s := range schedules {
+		for _, col := range s.Columns {
+			for _, e := range col.Entries {
+				if e.Weight != 0 {
+					n++
+				}
+			}
+		}
+	}
+	return n * int64(W)
+}
+
+// denseSchedules builds the value-agnostic dense schedule: one column per
+// step, every weight in place, nothing skipped.
+func denseSchedules(filters []sched.Filter) []*sched.Schedule {
+	out := make([]*sched.Schedule, len(filters))
+	for i, f := range filters {
+		s := &sched.Schedule{Lanes: f.Lanes, DenseSteps: f.Steps}
+		for st := 0; st < f.Steps; st++ {
+			col := sched.Column{Head: st, Advance: 1, Entries: make([]sched.Entry, f.Lanes)}
+			for ln := 0; ln < f.Lanes; ln++ {
+				if w := f.At(st, ln); w != 0 {
+					col.Entries[ln] = sched.Entry{Weight: w, SrcStep: st, SrcLane: ln}
+				}
+			}
+			s.Columns = append(s.Columns, col)
+		}
+		out[i] = s
+	}
+	return out
+}

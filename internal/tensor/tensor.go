@@ -1,0 +1,129 @@
+// Package tensor provides the dense 4-D integer tensors the simulator
+// operates on. Layout is NCHW for activations and KCRS (filter, channel,
+// kernel-row, kernel-col) for weights, the layouts the Bit-Tactical dataflow
+// assumes: input channels are the innermost "weight lane" dimension.
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Shape is a 4-D tensor shape.
+type Shape [4]int
+
+// Elems returns the number of elements.
+func (s Shape) Elems() int { return s[0] * s[1] * s[2] * s[3] }
+
+func (s Shape) String() string {
+	return fmt.Sprintf("%dx%dx%dx%d", s[0], s[1], s[2], s[3])
+}
+
+// T is a dense 4-D tensor of fixed-point codes.
+type T struct {
+	Shape Shape
+	Data  []int32
+}
+
+// New allocates a zero tensor of the given shape.
+func New(d0, d1, d2, d3 int) *T {
+	s := Shape{d0, d1, d2, d3}
+	if d0 < 0 || d1 < 0 || d2 < 0 || d3 < 0 {
+		panic(fmt.Sprintf("tensor: negative shape %v", s))
+	}
+	return &T{Shape: s, Data: make([]int32, s.Elems())}
+}
+
+// index computes the flat offset of (a,b,c,d).
+func (t *T) index(a, b, c, d int) int {
+	s := t.Shape
+	return ((a*s[1]+b)*s[2]+c)*s[3] + d
+}
+
+// At returns the element at (a,b,c,d).
+func (t *T) At(a, b, c, d int) int32 { return t.Data[t.index(a, b, c, d)] }
+
+// Set stores v at (a,b,c,d).
+func (t *T) Set(a, b, c, d int, v int32) { t.Data[t.index(a, b, c, d)] = v }
+
+// AtPadded returns the element at (a,b,c,d), or 0 when c or d fall outside
+// the tensor (zero padding, as convolution edges require).
+func (t *T) AtPadded(a, b, c, d int) int32 {
+	if c < 0 || d < 0 || c >= t.Shape[2] || d >= t.Shape[3] {
+		return 0
+	}
+	return t.Data[t.index(a, b, c, d)]
+}
+
+// Clone returns a deep copy.
+func (t *T) Clone() *T {
+	c := &T{Shape: t.Shape, Data: make([]int32, len(t.Data))}
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Fill sets every element to v.
+func (t *T) Fill(v int32) {
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+}
+
+// NNZ returns the number of non-zero elements.
+func (t *T) NNZ() int {
+	n := 0
+	for _, v := range t.Data {
+		if v != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Sparsity returns the fraction of zero elements (0 for an empty tensor).
+func (t *T) Sparsity() float64 {
+	if len(t.Data) == 0 {
+		return 0
+	}
+	return 1 - float64(t.NNZ())/float64(len(t.Data))
+}
+
+// FillRandom fills the tensor with uniform values in [-amp, amp] using rng.
+func (t *T) FillRandom(rng *rand.Rand, amp int32) {
+	if amp <= 0 {
+		t.Fill(0)
+		return
+	}
+	for i := range t.Data {
+		t.Data[i] = rng.Int31n(2*amp+1) - amp
+	}
+}
+
+// FillGaussian fills the tensor with round(N(0, sigma)) values clamped to
+// [-clamp, clamp]. This is the weight generator the model zoo uses before
+// magnitude pruning.
+func (t *T) FillGaussian(rng *rand.Rand, sigma float64, clamp int32) {
+	for i := range t.Data {
+		v := int32(rng.NormFloat64() * sigma)
+		if v > clamp {
+			v = clamp
+		}
+		if v < -clamp {
+			v = -clamp
+		}
+		t.Data[i] = v
+	}
+}
+
+// Equal reports whether two tensors have identical shape and contents.
+func Equal(a, b *T) bool {
+	if a.Shape != b.Shape {
+		return false
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}

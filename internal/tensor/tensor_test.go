@@ -1,0 +1,164 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestShapeElems(t *testing.T) {
+	if (Shape{2, 3, 4, 5}).Elems() != 120 {
+		t.Error("Elems of 2x3x4x5 != 120")
+	}
+	if (Shape{1, 1, 1, 1}).Elems() != 1 {
+		t.Error("Elems of unit shape != 1")
+	}
+}
+
+func TestShapeString(t *testing.T) {
+	if got := (Shape{1, 2, 3, 4}).String(); got != "1x2x3x4" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with negative dim should panic")
+		}
+	}()
+	New(1, -1, 1, 1)
+}
+
+func TestSetAt(t *testing.T) {
+	x := New(2, 3, 4, 5)
+	x.Set(1, 2, 3, 4, 42)
+	if x.At(1, 2, 3, 4) != 42 {
+		t.Error("Set/At round trip failed")
+	}
+	if x.At(0, 0, 0, 0) != 0 {
+		t.Error("untouched element should be zero")
+	}
+}
+
+func TestIndexUnique(t *testing.T) {
+	// Every coordinate maps to a distinct flat index.
+	x := New(2, 3, 4, 5)
+	seen := map[int]bool{}
+	for a := 0; a < 2; a++ {
+		for b := 0; b < 3; b++ {
+			for c := 0; c < 4; c++ {
+				for d := 0; d < 5; d++ {
+					i := x.index(a, b, c, d)
+					if seen[i] {
+						t.Fatalf("duplicate index %d at (%d,%d,%d,%d)", i, a, b, c, d)
+					}
+					seen[i] = true
+				}
+			}
+		}
+	}
+	if len(seen) != 120 {
+		t.Errorf("covered %d indices, want 120", len(seen))
+	}
+}
+
+func TestAtPadded(t *testing.T) {
+	x := New(1, 1, 2, 2)
+	x.Set(0, 0, 0, 0, 7)
+	if x.AtPadded(0, 0, 0, 0) != 7 {
+		t.Error("in-bounds AtPadded wrong")
+	}
+	for _, c := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		if x.AtPadded(0, 0, c[0], c[1]) != 0 {
+			t.Errorf("AtPadded(%d,%d) should be 0", c[0], c[1])
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	x := New(1, 1, 1, 2)
+	x.Set(0, 0, 0, 0, 1)
+	y := x.Clone()
+	y.Set(0, 0, 0, 0, 2)
+	if x.At(0, 0, 0, 0) != 1 {
+		t.Error("Clone aliases original data")
+	}
+	if !Equal(x, x.Clone()) {
+		t.Error("Clone should equal original")
+	}
+}
+
+func TestNNZSparsity(t *testing.T) {
+	x := New(1, 1, 2, 2)
+	if x.NNZ() != 0 || x.Sparsity() != 1.0 {
+		t.Error("fresh tensor should be fully sparse")
+	}
+	x.Set(0, 0, 0, 0, 5)
+	if x.NNZ() != 1 {
+		t.Errorf("NNZ = %d, want 1", x.NNZ())
+	}
+	if x.Sparsity() != 0.75 {
+		t.Errorf("Sparsity = %v, want 0.75", x.Sparsity())
+	}
+}
+
+func TestFill(t *testing.T) {
+	x := New(1, 1, 2, 2)
+	x.Fill(3)
+	if x.NNZ() != 4 {
+		t.Error("Fill should set all elements")
+	}
+}
+
+func TestFillRandomBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := New(2, 2, 8, 8)
+	x.FillRandom(rng, 100)
+	for _, v := range x.Data {
+		if v < -100 || v > 100 {
+			t.Fatalf("value %d out of bounds", v)
+		}
+	}
+	x.FillRandom(rng, 0)
+	if x.NNZ() != 0 {
+		t.Error("FillRandom(amp=0) should zero the tensor")
+	}
+}
+
+func TestFillGaussianClamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := New(1, 1, 32, 32)
+	x.FillGaussian(rng, 1000, 50)
+	for _, v := range x.Data {
+		if v < -50 || v > 50 {
+			t.Fatalf("value %d exceeds clamp", v)
+		}
+	}
+}
+
+func TestEqualShapes(t *testing.T) {
+	if Equal(New(1, 1, 1, 2), New(1, 1, 2, 1)) {
+		t.Error("different shapes must not be Equal")
+	}
+	a, b := New(1, 1, 1, 2), New(1, 1, 1, 2)
+	a.Set(0, 0, 0, 1, 9)
+	if Equal(a, b) {
+		t.Error("different data must not be Equal")
+	}
+}
+
+func TestSparsityProperty(t *testing.T) {
+	f := func(vals []int32) bool {
+		n := len(vals)
+		if n == 0 || n > 256 {
+			return true
+		}
+		x := &T{Shape: Shape{1, 1, 1, n}, Data: vals}
+		s := x.Sparsity()
+		return s >= 0 && s <= 1 && x.NNZ()+int(s*float64(n)+0.5) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,33 @@
+package wsformat
+
+import (
+	"testing"
+
+	"bittactical/internal/fixed"
+	"bittactical/internal/sched"
+)
+
+// FuzzDecodeRobust feeds arbitrary bytes to the WS-image decoder: errors
+// are fine, panics and hangs are not.
+func FuzzDecodeRobust(f *testing.F) {
+	// Seed with a valid image so the fuzzer explores deep paths.
+	w := make([]int32, 6*16)
+	for i := 0; i < len(w); i += 3 {
+		w[i] = int32(i%100 + 1)
+	}
+	flt := sched.NewFilter(16, 6, w, nil)
+	p := sched.T(2, 5)
+	s := sched.ScheduleFilter(flt, p, sched.Algorithm1)
+	buf, _ := Encode(p, s, fixed.W16)
+	f.Add(buf)
+	f.Add([]byte("TCLW"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 1<<16 {
+			raw = raw[:1<<16]
+		}
+		img, err := Decode(raw, p)
+		if err == nil && img.Schedule == nil {
+			t.Fatal("nil schedule without error")
+		}
+	})
+}
