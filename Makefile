@@ -1,0 +1,35 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench bench-sim fmt clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The pre-commit gate: compile everything, vet, and run the full suite
+# under the race detector (the parallel engine is on by default, so every
+# test doubles as a race test).
+check: build vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$'
+
+# Regenerate BENCH_sim.json: fig8/fig11 ns/op at Parallelism 1 and 8.
+bench-sim:
+	TCL_BENCH_SIM=1 $(GO) test -run TestEmitBenchSim -v -timeout 60m
+
+fmt:
+	gofmt -w .
+
+clean:
+	$(GO) clean ./...

@@ -8,12 +8,17 @@
 package bittactical_test
 
 import (
+	"encoding/json"
+	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"bittactical/internal/experiments"
 	"bittactical/internal/nn"
+	"bittactical/internal/sched"
 )
 
 // benchOptions sizes the zoo so the full suite completes in minutes while
@@ -134,6 +139,71 @@ func BenchmarkFig12(b *testing.B) {
 
 func BenchmarkFig13(b *testing.B) {
 	runExperiment(b, "fig13", rowMetric("TCLe<2,5>", "tcle-8b-speedup"))
+}
+
+// TestEmitBenchSim measures the fig8/fig11 experiment runners at
+// Parallelism 1 and 8 with testing.Benchmark and records ns/op in
+// BENCH_sim.json, the committed wall-time baseline for the simulation
+// engine. Gated behind TCL_BENCH_SIM=1 (or `make bench-sim`) so ordinary
+// test runs stay fast; the shared schedule cache is reset before every
+// measurement so each configuration pays its own scheduling cost.
+func TestEmitBenchSim(t *testing.T) {
+	if os.Getenv("TCL_BENCH_SIM") == "" {
+		t.Skip("set TCL_BENCH_SIM=1 to regenerate BENCH_sim.json")
+	}
+	type record struct {
+		ID          string  `json:"id"`
+		Parallelism int     `json:"parallelism"`
+		NsPerOp     int64   `json:"ns_per_op"`
+		Iterations  int     `json:"iterations"`
+		Speedup     float64 `json:"speedup_vs_serial,omitempty"`
+	}
+	out := struct {
+		Generated  string   `json:"generated"`
+		GoMaxProcs int      `json:"go_max_procs"`
+		NumCPU     int      `json:"num_cpu"`
+		Zoo        string   `json:"zoo"`
+		Benchmarks []record `json:"benchmarks"`
+	}{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Zoo:        "channel scale 0.125, spatial scale 0.35, 25 trials",
+	}
+	serialNs := map[string]int64{}
+	for _, id := range []string{"fig8a", "fig8b", "fig11a", "fig11b"} {
+		run := experiments.Registry[id]
+		if run == nil {
+			t.Fatalf("unknown experiment %q", id)
+		}
+		for _, par := range []int{1, 8} {
+			opts := benchOptions()
+			opts.Parallelism = par
+			r := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					sched.Shared.Reset()
+					if _, err := run(opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			rec := record{ID: id, Parallelism: par, NsPerOp: r.NsPerOp(), Iterations: r.N}
+			if par == 1 {
+				serialNs[id] = r.NsPerOp()
+			} else if s := serialNs[id]; s > 0 && r.NsPerOp() > 0 {
+				rec.Speedup = float64(s) / float64(r.NsPerOp())
+			}
+			out.Benchmarks = append(out.Benchmarks, rec)
+			t.Logf("%s j=%d: %d ns/op (%d iters)", id, par, r.NsPerOp(), r.N)
+		}
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_sim.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // BenchmarkScheduler isolates the paper's core contribution: Algorithm 1 on

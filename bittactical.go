@@ -98,9 +98,19 @@ type Result = sim.Result
 // Tensor is a dense 4-D fixed-point tensor.
 type Tensor = tensor.T
 
-// Simulate runs every layer of the model under the configuration.
+// SimOptions tunes the simulation engine (worker parallelism, schedule
+// cache) without affecting results: output is bit-identical at any setting.
+type SimOptions = sim.Options
+
+// Simulate runs every layer of the model under the configuration using the
+// default engine options: one worker per CPU and the shared schedule cache.
 func Simulate(cfg Config, m *Model, acts []*Tensor) (*Result, error) {
 	return sim.SimulateModel(cfg, m, acts)
+}
+
+// SimulateOpts is Simulate with explicit engine options.
+func SimulateOpts(cfg Config, m *Model, acts []*Tensor, opts SimOptions) (*Result, error) {
+	return sim.SimulateModelOpts(cfg, m, acts, opts)
 }
 
 // ---- experiments ----

@@ -8,12 +8,16 @@
 //
 //	tclpack -model AlexNet-ES -pattern 'T8<2,5>' -o /tmp/alexnet.tclw
 //	tclpack -model MobileNet -stats
+//	tclpack -model ResNet50-SS -j 8      # parallel scheduling + packing
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"bittactical/internal/fixed"
 	"bittactical/internal/nn"
@@ -28,6 +32,7 @@ func main() {
 		out     = flag.String("o", "", "write the concatenated WS images here")
 		cscale  = flag.Float64("cscale", 0.25, "channel scale")
 		sscale  = flag.Float64("sscale", 0.5, "spatial scale")
+		par     = flag.Int("j", 0, "worker parallelism (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -47,9 +52,16 @@ func main() {
 		fatal(err)
 	}
 
-	var blob []byte
-	var rawBits, imgBits int64
-	var filters, columns, denseCols int
+	// The offline pipeline is embarrassingly parallel across filter groups
+	// (each group schedules, verifies, and encodes independently); groups go
+	// into one shared queue and idle workers steal the next index, then the
+	// per-group images concatenate in deterministic order.
+	type job struct {
+		lw     *nn.Lowered
+		pad    []bool
+		f0, f1 int
+	}
+	var jobs []job
 	for _, lw := range lws {
 		pad := make([]bool, lw.Steps*lw.Lanes)
 		for st := 0; st < lw.Steps; st++ {
@@ -62,29 +74,82 @@ func main() {
 			if f1 > lw.Filters {
 				f1 = lw.Filters
 			}
-			group := make([]sched.Filter, f1-f0)
-			for i := range group {
-				group[i] = sched.NewFilter(lw.Lanes, lw.Steps, lw.FilterRow(f0+i), pad)
-			}
-			for i, s := range sched.ScheduleGroup(group, p, sched.Algorithm1) {
-				if err := sched.Verify(group[i], p, s); err != nil {
-					fatal(fmt.Errorf("%s filter %d: %w", lw.Name, f0+i, err))
-				}
-				buf, err := wsformat.Encode(p, s, m.Width)
-				if err != nil {
-					fatal(err)
-				}
-				if err := wsformat.RoundTrip(p, s, m.Width); err != nil {
-					fatal(fmt.Errorf("%s filter %d: %w", lw.Name, f0+i, err))
-				}
-				blob = append(blob, buf...)
-				rawBits += int64(lw.Steps) * int64(lw.Lanes) * int64(m.Width)
-				imgBits += wsformat.SizeBits(p, s, m.Width)
-				filters++
-				columns += s.Len()
-				denseCols += lw.Steps
-			}
+			jobs = append(jobs, job{lw: lw, pad: pad, f0: f0, f1: f1})
 		}
+	}
+	type packed struct {
+		blob             []byte
+		rawBits, imgBits int64
+		filters, columns int
+		denseCols        int
+		err              error
+	}
+	results := make([]packed, len(jobs))
+	workers := *par
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ji := int(next.Add(1)) - 1
+				if ji >= len(jobs) {
+					return
+				}
+				j := jobs[ji]
+				r := &results[ji]
+				lw := j.lw
+				group := make([]sched.Filter, j.f1-j.f0)
+				for i := range group {
+					group[i] = sched.NewFilter(lw.Lanes, lw.Steps, lw.FilterRow(j.f0+i), j.pad)
+				}
+				for i, s := range sched.Shared.ScheduleGroup(group, p, sched.Algorithm1) {
+					if err := sched.Verify(group[i], p, s); err != nil {
+						r.err = fmt.Errorf("%s filter %d: %w", lw.Name, j.f0+i, err)
+						return
+					}
+					buf, err := wsformat.Encode(p, s, m.Width)
+					if err != nil {
+						r.err = err
+						return
+					}
+					if err := wsformat.RoundTrip(p, s, m.Width); err != nil {
+						r.err = fmt.Errorf("%s filter %d: %w", lw.Name, j.f0+i, err)
+						return
+					}
+					r.blob = append(r.blob, buf...)
+					r.rawBits += int64(lw.Steps) * int64(lw.Lanes) * int64(m.Width)
+					r.imgBits += wsformat.SizeBits(p, s, m.Width)
+					r.filters++
+					r.columns += s.Len()
+					r.denseCols += lw.Steps
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	var blob []byte
+	var rawBits, imgBits int64
+	var filters, columns, denseCols int
+	for i := range results {
+		r := &results[i]
+		if r.err != nil {
+			fatal(r.err)
+		}
+		blob = append(blob, r.blob...)
+		rawBits += r.rawBits
+		imgBits += r.imgBits
+		filters += r.filters
+		columns += r.columns
+		denseCols += r.denseCols
 	}
 	fmt.Printf("%s under %s: %d filters scheduled and verified\n", m.Name, p.Name, filters)
 	fmt.Printf("schedule: %d columns vs %d dense steps (%.2fx front-end compaction)\n",

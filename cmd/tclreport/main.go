@@ -6,6 +6,7 @@
 //	tclreport -o report.md
 //	tclreport -o report.md -quick        # small zoo, fast smoke report
 //	tclreport -o report.md -include fig8a,fig12
+//	tclreport -o report.md -j 4 -memprofile heap.out
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 
 	"bittactical/internal/experiments"
 	"bittactical/internal/nn"
+	"bittactical/internal/profiling"
 )
 
 func main() {
@@ -26,8 +28,22 @@ func main() {
 		include = flag.String("include", "", "comma-separated experiment subset")
 		cscale  = flag.Float64("cscale", 0.25, "channel scale")
 		sscale  = flag.Float64("sscale", 0.5, "spatial scale")
+		par     = flag.Int("j", 0, "worker parallelism (0 = GOMAXPROCS)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tclreport:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "tclreport:", err)
+		}
+	}()
 
 	opts := experiments.Options{}
 	zoo := nn.DefaultZoo()
@@ -36,6 +52,7 @@ func main() {
 	if *quick {
 		opts = experiments.Quick()
 	}
+	opts.Parallelism = *par
 
 	ids := experiments.IDs()
 	if *include != "" {

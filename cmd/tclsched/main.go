@@ -7,6 +7,7 @@
 //
 //	tclsched -pattern 'T8<2,5>' -sparsity 0.7 -steps 18 -dump
 //	tclsched -pattern 'L8<1,6>' -alg greedy -sparsity 0.9
+//	tclsched -steps 288 -repeat 1000 -cpuprofile sched.out   # profile Algorithm 1
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"math/rand"
 	"os"
 
+	"bittactical/internal/profiling"
 	"bittactical/internal/sched"
 	"bittactical/internal/sparsity"
 )
@@ -27,10 +29,24 @@ func main() {
 		steps    = flag.Int("steps", 18, "dense schedule steps (3x3x512/16 = 288 in fig11)")
 		lanes    = flag.Int("lanes", 16, "weight lanes")
 		seed     = flag.Int64("seed", 1, "filter seed")
+		repeat   = flag.Int("repeat", 1, "schedule the filter this many times (profiling workloads)")
 		dump     = flag.Bool("dump", false, "print every schedule column")
 		patterns = flag.Bool("patterns", false, "list known patterns and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tclsched:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "tclsched:", err)
+		}
+	}()
 
 	if *patterns {
 		for _, n := range sched.KnownPatternNames() {
@@ -56,6 +72,10 @@ func main() {
 	w := sparsity.RandomSparseFilter(rng, *steps, *lanes, *sp)
 	f := sched.NewFilter(*lanes, *steps, w, nil)
 	s := sched.ScheduleFilter(f, p, a)
+	// Extra repetitions give the profiler a hot Algorithm 1 to sample.
+	for i := 1; i < *repeat; i++ {
+		sched.ScheduleFilter(f, p, a)
+	}
 	if err := sched.Verify(f, p, s); err != nil {
 		fmt.Fprintln(os.Stderr, "tclsched: schedule verification FAILED:", err)
 		os.Exit(1)

@@ -6,6 +6,7 @@
 //	tclsim -exp all                   # everything (writes the full report)
 //	tclsim -exp fig12 -models AlexNet-ES,ResNet50-SS
 //	tclsim -exp table1 -cscale 0.5 -sscale 0.5   # larger instantiation
+//	tclsim -exp fig8b -j 8 -cpuprofile cpu.out   # bounded parallelism + pprof
 //	tclsim -list
 package main
 
@@ -20,19 +21,23 @@ import (
 
 	"bittactical/internal/experiments"
 	"bittactical/internal/nn"
+	"bittactical/internal/profiling"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (see -list) or 'all'")
-		models = flag.String("models", "", "comma-separated model subset")
-		cscale = flag.Float64("cscale", 0.25, "channel scale of the model zoo")
-		sscale = flag.Float64("sscale", 0.5, "spatial scale of the model zoo")
-		seed   = flag.Int64("seed", 1, "weight seed")
-		aseed  = flag.Int64("actseed", 7, "activation seed")
-		trials = flag.Int("trials", 100, "filters per point for fig11")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		csvDir = flag.String("csv", "", "also write each table as CSV into this directory")
+		exp     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		models  = flag.String("models", "", "comma-separated model subset")
+		cscale  = flag.Float64("cscale", 0.25, "channel scale of the model zoo")
+		sscale  = flag.Float64("sscale", 0.5, "spatial scale of the model zoo")
+		seed    = flag.Int64("seed", 1, "weight seed")
+		aseed   = flag.Int64("actseed", 7, "activation seed")
+		trials  = flag.Int("trials", 100, "filters per point for fig11")
+		par     = flag.Int("j", 0, "worker parallelism (0 = GOMAXPROCS)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -43,9 +48,20 @@ func main() {
 		return
 	}
 
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tclsim:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "tclsim:", err)
+		}
+	}()
+
 	zoo := nn.DefaultZoo()
 	zoo.ChannelScale, zoo.SpatialScale, zoo.Seed = *cscale, *sscale, *seed
-	opts := experiments.Options{Zoo: zoo, ActSeed: *aseed, Trials: *trials}
+	opts := experiments.Options{Zoo: zoo, ActSeed: *aseed, Trials: *trials, Parallelism: *par}
 	if *models != "" {
 		opts.Models = strings.Split(*models, ",")
 	}

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 
 	"bittactical/internal/fixed"
 	"bittactical/internal/nn"
@@ -28,6 +30,7 @@ func main() {
 		seed   = flag.Int64("seed", 1, "weight seed")
 		w8     = flag.Bool("w8", false, "8-bit quantized zoo")
 		pot    = flag.Bool("potential", false, "print Table-1 potentials per model")
+		par    = flag.Int("j", 0, "model-build parallelism (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -40,8 +43,27 @@ func main() {
 	if *model != "" {
 		names = []string{*model}
 	}
-	for _, name := range names {
-		m, err := nn.BuildModel(name, cfg)
+	// Instantiate in parallel, print in zoo order.
+	workers := *par
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	built := make([]*nn.Model, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, name := range names {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			built[i], errs[i] = nn.BuildModel(name, cfg)
+		}(i, name)
+	}
+	wg.Wait()
+	for i := range names {
+		m, err := built[i], errs[i]
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tclzoo:", err)
 			os.Exit(2)

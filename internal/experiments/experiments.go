@@ -13,6 +13,7 @@ import (
 
 	"bittactical/internal/fixed"
 	"bittactical/internal/nn"
+	"bittactical/internal/sim"
 	"bittactical/internal/tensor"
 )
 
@@ -57,6 +58,13 @@ func (o Options) workers() int {
 		return o.Parallelism
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// simOpts threads the experiment worker budget into the simulation engine,
+// so one flag governs both the job-level fan-out (configs × models) and the
+// per-simulation (layer, filter-group) pool.
+func (o Options) simOpts() sim.Options {
+	return sim.Options{Parallelism: o.Parallelism}
 }
 
 // Quick returns options sized for unit tests: two small networks.

@@ -150,10 +150,10 @@ func AblationSync(o Options) (*Table, error) {
 		}
 		r.feJoint = float64(dense) / float64(max64(1, jointCols))
 		r.feSolo = float64(dense) / float64(max64(1, soloCols))
-		tcle, _ := simulateAll(arch.NewTCL(p, arch.TCLe), wl, nil)
+		tcle, _ := simulateAll(o, arch.NewTCL(p, arch.TCLe), wl, nil)
 		r.tcle = tcle.Speedup()
 		// Ideal-free product: FE joint × per-value Ae over the layers.
-		be, _ := simulateAll(arch.NewTCL(sched.Pattern{}, arch.TCLe), wl, nil)
+		be, _ := simulateAll(o, arch.NewTCL(sched.Pattern{}, arch.TCLe), wl, nil)
 		r.ideal = r.feJoint * be.Speedup()
 		rs[wi] = r
 	})

@@ -54,7 +54,7 @@ func Fig10(o Options) (*Table, error) {
 		base := arch.DaDianNaoPP()
 		runs := make([]layerRun, len(wl.Low))
 		for li, lw := range wl.Low {
-			r := sim.SimulateLayer(cfg, lw)
+			r := sim.SimulateLayerOpts(cfg, lw, o.simOpts())
 			runs[li] = layerRun{
 				compute:     r.Cycles,
 				baseCompute: r.DenseCycles,

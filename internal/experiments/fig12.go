@@ -41,7 +41,7 @@ func Fig12(o Options) (*Table, error) {
 			6: arch.NewTCL(sched.T(2, 5), arch.TCLe),
 		}
 		for idx, cfg := range simCfgs {
-			res, err := simulateAll(cfg, wl, convOnly)
+			res, err := simulateAll(o, cfg, wl, convOnly)
 			if err == nil {
 				speed[idx][wi] = res.Speedup()
 			}

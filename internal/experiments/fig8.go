@@ -63,7 +63,7 @@ func Fig8a(o Options) (*Table, error) {
 			p = p.LookaheadOnly()
 		}
 		cfg := arch.FrontEndOnly(p)
-		res, err := simulateAll(cfg, wls[j.wlIdx], nil)
+		res, err := simulateAll(o, cfg, wls[j.wlIdx], nil)
 		if err != nil {
 			errs[i] = err
 			return
@@ -145,7 +145,7 @@ func backEndSweep(o Options, wls []*workload, id, title string) (*Table, error) 
 	errs := make([]error, len(jobs))
 	parallelDo(o, len(jobs), func(i int) {
 		j := jobs[i]
-		res, err := simulateAll(cfgs[j.ci], wls[j.wi], nil)
+		res, err := simulateAll(o, cfgs[j.ci], wls[j.wi], nil)
 		if err != nil {
 			errs[i] = err
 			return
@@ -203,7 +203,7 @@ func Fig8c(o Options) (*Table, error) {
 			if wl.Model.Layers[li].Kind == nn.FC {
 				continue
 			}
-			r := sim.SimulateLayer(cfg, lw)
+			r := sim.SimulateLayerOpts(cfg, lw, o.simOpts())
 			tr := memory.LayerTraffic(cfg, lw)
 			sum.Add(energy.Price(cfg, r.Activity, tr, tech, k))
 		}
@@ -234,9 +234,9 @@ func Fig8c(o Options) (*Table, error) {
 	return t, nil
 }
 
-// simulateAll simulates every layer of a workload under cfg; layerFilter
-// (when non-nil) selects layers.
-func simulateAll(cfg arch.Config, wl *workload, layerFilter func(*nn.Layer) bool) (*sim.Result, error) {
+// simulateAll simulates every layer of a workload under cfg on o's engine
+// options; layerFilter (when non-nil) selects layers.
+func simulateAll(o Options, cfg arch.Config, wl *workload, layerFilter func(*nn.Layer) bool) (*sim.Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -245,7 +245,7 @@ func simulateAll(cfg arch.Config, wl *workload, layerFilter func(*nn.Layer) bool
 		if layerFilter != nil && !layerFilter(wl.Model.Layers[li]) {
 			continue
 		}
-		res.Layers = append(res.Layers, sim.SimulateLayer(cfg, lw))
+		res.Layers = append(res.Layers, sim.SimulateLayerOpts(cfg, lw, o.simOpts()))
 	}
 	return res, nil
 }

@@ -42,7 +42,7 @@ func Fig9(o Options) (*Table, error) {
 		var total sim.LayerResult
 		var rows []rowData
 		for li, lw := range wl.Low {
-			r := sim.SimulateLayer(cfg, lw)
+			r := sim.SimulateLayerOpts(cfg, lw, o.simOpts())
 			total.BackEnd.Add(r.BackEnd)
 			total.FrontEnd.Columns += r.FrontEnd.Columns
 			for k := range total.FrontEnd.Slots {

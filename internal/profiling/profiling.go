@@ -1,0 +1,50 @@
+// Package profiling wires the standard pprof hooks into the command-line
+// tools, so perf work on the simulator and scheduler hot paths can be
+// measured (-cpuprofile) and allocation-audited (-memprofile) without
+// per-tool boilerplate.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling when cpuPath is non-empty and returns a stop
+// function that finalizes both profiles; memPath (when non-empty) receives a
+// heap profile at stop time, after a final GC so it reflects live memory.
+// Call the returned function before exiting, typically via defer.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profiling: heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,151 @@
+package sched
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache memoizes ScheduleGroup results. A schedule depends only on the
+// group's weight values, the connectivity pattern, and the scheduling
+// algorithm — it is the static artifact the paper's software front-end
+// produces once offline — so experiment sweeps that vary only the back-end
+// (TCLp vs TCLe, Figure 8b) or re-simulate a model under several widths can
+// schedule each filter group once and share the result. Cached schedules
+// are immutable; callers must not modify the returned columns.
+//
+// The key deliberately excludes the channel-padding mask: scheduling reads
+// only the weight values (buildColumn consults Filter.W alone), so groups
+// that differ only in padding share an entry.
+type Cache struct {
+	mu       sync.RWMutex
+	m        map[groupKey][]*Schedule
+	capacity int
+	hits     atomic.Int64
+	misses   atomic.Int64
+}
+
+// groupKey identifies one (filter group, pattern, algorithm) triple. Two
+// independent 64-bit FNV-1a streams over the full group content make an
+// accidental 128-bit collision implausible at any realistic cache size.
+type groupKey struct {
+	h1, h2  uint64
+	pattern string
+	alg     Algorithm
+}
+
+// defaultCacheCap bounds resident entries. One entry holds a whole group's
+// schedules (up to 16 filters), so the default accommodates every distinct
+// group of a full-zoo sweep while capping worst-case memory; on overflow the
+// cache drops everything and refills, which keeps results correct and the
+// implementation trivial.
+const defaultCacheCap = 1 << 14
+
+// NewCache returns an empty cache. capacity <= 0 selects the default bound.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = defaultCacheCap
+	}
+	return &Cache{m: make(map[groupKey][]*Schedule), capacity: capacity}
+}
+
+// Shared is the process-wide schedule cache the simulator uses by default.
+var Shared = NewCache(0)
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvInt(h uint64, v int64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= uint64(byte(v >> (8 * i)))
+		h *= fnvPrime
+	}
+	return h
+}
+
+func fnvString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// patternKey canonicalizes a pattern for keying: the name alone is not
+// trustworthy (LookaheadOnly and hand-built patterns reuse labels), so the
+// key spells out the structural fields and every offset.
+func patternKey(p Pattern) string {
+	b := make([]byte, 0, 16+8*len(p.Offsets))
+	b = strconv.AppendInt(b, int64(p.H), 10)
+	b = append(b, '/')
+	if p.Infinite {
+		b = append(b, 'x')
+	}
+	for _, o := range p.Offsets {
+		b = append(b, ';')
+		b = strconv.AppendInt(b, int64(o.Dt), 10)
+		b = append(b, ',')
+		b = strconv.AppendInt(b, int64(o.Dl), 10)
+	}
+	return string(b)
+}
+
+func keyOf(filters []Filter, p Pattern, alg Algorithm) groupKey {
+	h1, h2 := uint64(fnvOffset), uint64(5381)
+	mix := func(v int64) {
+		h1 = fnvInt(h1, v)
+		h2 = h2*33 + uint64(v) + (h2 >> 27)
+	}
+	mix(int64(len(filters)))
+	for _, f := range filters {
+		mix(int64(f.Lanes))
+		mix(int64(f.Steps))
+		for _, w := range f.W {
+			mix(int64(w))
+		}
+	}
+	return groupKey{h1: h1, h2: fnvString(h2, patternKey(p)), pattern: patternKey(p), alg: alg}
+}
+
+// ScheduleGroup returns the memoized joint schedule for the filter group,
+// computing and storing it on first use. Concurrent callers may race to fill
+// the same key; both compute the identical deterministic result and one
+// wins the store, so no caller ever observes a partial entry.
+func (c *Cache) ScheduleGroup(filters []Filter, p Pattern, alg Algorithm) []*Schedule {
+	key := keyOf(filters, p, alg)
+	c.mu.RLock()
+	ss, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return ss
+	}
+	ss = ScheduleGroup(filters, p, alg)
+	c.misses.Add(1)
+	c.mu.Lock()
+	if len(c.m) >= c.capacity {
+		c.m = make(map[groupKey][]*Schedule)
+	}
+	c.m[key] = ss
+	c.mu.Unlock()
+	return ss
+}
+
+// Stats reports lifetime hit/miss counters and the current entry count.
+func (c *Cache) Stats() (hits, misses int64, entries int) {
+	c.mu.RLock()
+	n := len(c.m)
+	c.mu.RUnlock()
+	return c.hits.Load(), c.misses.Load(), n
+}
+
+// Reset drops every entry and zeroes the counters.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	c.m = make(map[groupKey][]*Schedule)
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+}

@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bittactical/internal/sparsity"
+)
+
+func cacheTestGroup(seed int64, steps, lanes int, sp float64, pad []bool) []Filter {
+	rng := rand.New(rand.NewSource(seed))
+	group := make([]Filter, 3)
+	for i := range group {
+		w := sparsity.RandomSparseFilter(rng, steps, lanes, sp)
+		group[i] = NewFilter(lanes, steps, w, pad)
+	}
+	return group
+}
+
+func TestCacheHitReturnsIdenticalSchedules(t *testing.T) {
+	c := NewCache(0)
+	group := cacheTestGroup(3, 12, 8, 0.6, nil)
+	p := T(2, 5)
+
+	fresh := ScheduleGroup(group, p, Algorithm1)
+	first := c.ScheduleGroup(group, p, Algorithm1)
+	if !reflect.DeepEqual(fresh, first) {
+		t.Fatal("cached computation differs from direct ScheduleGroup")
+	}
+	second := c.ScheduleGroup(group, p, Algorithm1)
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("filter %d: hit returned a new schedule instead of the cached pointer", i)
+		}
+	}
+	if hits, misses, entries := c.Stats(); hits != 1 || misses != 1 || entries != 1 {
+		t.Fatalf("stats = (%d, %d, %d), want (1, 1, 1)", hits, misses, entries)
+	}
+}
+
+func TestCacheKeyDiscriminates(t *testing.T) {
+	c := NewCache(0)
+	group := cacheTestGroup(4, 12, 8, 0.6, nil)
+	c.ScheduleGroup(group, T(2, 5), Algorithm1)
+
+	// A different pattern, a different algorithm, and different weights must
+	// each miss, even when the pattern shares a mux arity.
+	c.ScheduleGroup(group, L(2, 5), Algorithm1)
+	c.ScheduleGroup(group, T(2, 5), GreedySimple)
+	c.ScheduleGroup(cacheTestGroup(5, 12, 8, 0.6, nil), T(2, 5), Algorithm1)
+	if hits, misses, _ := c.Stats(); hits != 0 || misses != 4 {
+		t.Fatalf("stats = (%d hits, %d misses), want (0, 4)", hits, misses)
+	}
+}
+
+// TestCachePadIndependent pins the deliberate key choice: scheduling reads
+// only the weight values, so groups differing only in the padding mask
+// share one entry.
+func TestCachePadIndependent(t *testing.T) {
+	c := NewCache(0)
+	pad := make([]bool, 12*8)
+	for i := range pad {
+		pad[i] = i%3 == 0
+	}
+	plain := cacheTestGroup(6, 12, 8, 0.6, nil)
+	padded := cacheTestGroup(6, 12, 8, 0.6, pad)
+
+	a := c.ScheduleGroup(plain, T(2, 5), Algorithm1)
+	b := c.ScheduleGroup(padded, T(2, 5), Algorithm1)
+	if hits, misses, _ := c.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = (%d hits, %d misses), want pad-only difference to hit", hits, misses)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("filter %d: padded group did not share the cached schedule", i)
+		}
+	}
+}
+
+func TestCacheReset(t *testing.T) {
+	c := NewCache(0)
+	group := cacheTestGroup(7, 12, 8, 0.6, nil)
+	c.ScheduleGroup(group, T(2, 5), Algorithm1)
+	c.ScheduleGroup(group, T(2, 5), Algorithm1)
+	c.Reset()
+	if hits, misses, entries := c.Stats(); hits != 0 || misses != 0 || entries != 0 {
+		t.Fatalf("after Reset: stats = (%d, %d, %d), want zeros", hits, misses, entries)
+	}
+	c.ScheduleGroup(group, T(2, 5), Algorithm1)
+	if hits, misses, _ := c.Stats(); hits != 0 || misses != 1 {
+		t.Fatalf("after Reset: stats = (%d hits, %d misses), want a cold miss", hits, misses)
+	}
+}
+
+// TestCacheCapacityClears checks the overflow policy: at capacity the cache
+// drops everything and refills rather than growing without bound.
+func TestCacheCapacityClears(t *testing.T) {
+	c := NewCache(4)
+	for seed := int64(0); seed < 10; seed++ {
+		c.ScheduleGroup(cacheTestGroup(100+seed, 6, 4, 0.5, nil), T(2, 5), Algorithm1)
+	}
+	_, misses, entries := c.Stats()
+	if misses != 10 {
+		t.Fatalf("misses = %d, want 10 distinct groups", misses)
+	}
+	if entries > 4 {
+		t.Fatalf("entries = %d, exceeds capacity 4", entries)
+	}
+}
+
+// TestCacheSchedulesVerify makes sure memoization never serves a schedule
+// that violates the hardware invariants for the group it keys.
+func TestCacheSchedulesVerify(t *testing.T) {
+	c := NewCache(0)
+	for seed := int64(0); seed < 5; seed++ {
+		group := cacheTestGroup(200+seed, 18, 16, 0.7, nil)
+		p := T(2, 5)
+		for round := 0; round < 2; round++ { // miss, then hit
+			for i, s := range c.ScheduleGroup(group, p, Algorithm1) {
+				if err := Verify(group[i], p, s); err != nil {
+					t.Fatalf("seed %d round %d filter %d: %v", seed, round, i, err)
+				}
+			}
+		}
+	}
+}

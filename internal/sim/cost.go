@@ -54,3 +54,8 @@ func newCostTable(be arch.BackEnd, w fixed.Width) *costTable {
 func (ct *costTable) cost(v int32) int {
 	return int(ct.tab[uint32(v)&ct.width.Mask()])
 }
+
+// costU8 is cost without the int widening, for the hot loop's cost grids.
+func (ct *costTable) costU8(v int32) uint8 {
+	return ct.tab[uint32(v)&ct.width.Mask()]
+}

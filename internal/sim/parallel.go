@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"bittactical/internal/sched"
+)
+
+// Options tunes the simulation engine without changing its results: any
+// Parallelism and any cache setting produce bit-identical output, because
+// every worker accumulates a private per-filter-group shard and the shards
+// are merged in a fixed order.
+type Options struct {
+	// Parallelism bounds the worker goroutines executing (layer,
+	// filter-group) work items; 0 means GOMAXPROCS. 1 runs fully inline
+	// (no goroutines), which is also the fallback for single-item loads.
+	Parallelism int
+	// Cache overrides the schedule cache (nil = sched.Shared). Schedules
+	// depend only on (weights, pattern, scheduler), so the default shared
+	// cache lets back-end sweeps schedule each filter group once.
+	Cache *sched.Cache
+	// DisableCache forces every group to be rescheduled from scratch.
+	DisableCache bool
+}
+
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) cache() *sched.Cache {
+	if o.DisableCache {
+		return nil
+	}
+	if o.Cache != nil {
+		return o.Cache
+	}
+	return sched.Shared
+}
+
+// runPool executes fn(0..n-1) on up to `workers` goroutines. Items live in
+// a single shared queue and idle workers steal the next unclaimed index, so
+// a slow filter group (large layer, dense weights) never idles the rest of
+// the pool behind a static partition. Worker panics are re-raised on the
+// caller's goroutine to preserve the engine's synchronous panic contract.
+func runPool(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Pointer[panicBox]
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicked.CompareAndSwap(nil, &panicBox{val: r})
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if p := panicked.Load(); p != nil {
+		panic(p.val)
+	}
+}
+
+type panicBox struct{ val any }

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"bittactical/internal/arch"
+	"bittactical/internal/nn"
+	"bittactical/internal/sched"
+)
+
+// table2Configs is the Table-2 design family the determinism tests sweep:
+// the dense baseline, front-end-only skipping, both serial back-ends with
+// and without a front-end, and a second pattern shape.
+func table2Configs() []arch.Config {
+	return []arch.Config{
+		arch.DaDianNaoPP(),
+		arch.FrontEndOnly(sched.T(2, 5)),
+		arch.NewTCL(sched.T(2, 5), arch.TCLp),
+		arch.NewTCL(sched.T(2, 5), arch.TCLe),
+		arch.NewTCL(sched.L(1, 6), arch.TCLe),
+		arch.NewTCL(sched.L(2, 5), arch.TCLp),
+		arch.NewTCL(sched.Pattern{}, arch.TCLe), // Pragmatic-like
+		arch.NewTCL(sched.Pattern{}, arch.TCLp), // Dynamic-Stripes-like
+	}
+}
+
+// buildDeterminismModel instantiates a small zoo model whose layer mix
+// covers conv, depthwise/grouped, and FC lowering paths.
+func buildDeterminismModel(t *testing.T, name string) *nn.Model {
+	t.Helper()
+	cfg := nn.DefaultZoo()
+	cfg.ChannelScale, cfg.SpatialScale = 0.1, 0.2
+	m, err := nn.BuildModel(name, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestParallelDeterminism asserts the engine's central contract: any
+// Parallelism, with or without the schedule cache, produces results
+// bit-identical to the inline serial engine, across every Table-2 config
+// and two activation seeds.
+func TestParallelDeterminism(t *testing.T) {
+	for _, modelName := range []string{"AlexNet-ES", "MobileNet"} {
+		m := buildDeterminismModel(t, modelName)
+		for _, seed := range []int64{7, 13} {
+			acts := m.GenerateActs(seed)
+			for _, cfg := range table2Configs() {
+				serial, err := SimulateModelOpts(cfg, m, acts, Options{Parallelism: 1, DisableCache: true})
+				if err != nil {
+					t.Fatalf("%s/%s seed %d: %v", modelName, cfg.Name, seed, err)
+				}
+				for _, par := range []int{1, 2, 8} {
+					got, err := SimulateModelOpts(cfg, m, acts, Options{Parallelism: par, Cache: sched.NewCache(0)})
+					if err != nil {
+						t.Fatalf("%s/%s seed %d par %d: %v", modelName, cfg.Name, seed, par, err)
+					}
+					if !reflect.DeepEqual(serial, got) {
+						t.Errorf("%s/%s seed %d: Parallelism=%d result differs from serial",
+							modelName, cfg.Name, seed, par)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestScheduleCacheSharedAcrossBackEnds asserts the memoization win the
+// cache exists for: TCLp and TCLe differ only in the back-end, so the
+// second simulation of the same layer group hits every schedule the first
+// one computed.
+func TestScheduleCacheSharedAcrossBackEnds(t *testing.T) {
+	lw := testConv(t, 11, 40, 24, 3, 3, 6, 0.6, 0.4)
+	cache := sched.NewCache(0)
+	p := SimulateLayerOpts(arch.NewTCL(sched.T(2, 5), arch.TCLp), lw, Options{Cache: cache})
+	hits, misses, _ := cache.Stats()
+	if hits != 0 || misses == 0 {
+		t.Fatalf("first run: hits=%d misses=%d, want cold misses only", hits, misses)
+	}
+	e := SimulateLayerOpts(arch.NewTCL(sched.T(2, 5), arch.TCLe), lw, Options{Cache: cache})
+	hits2, misses2, _ := cache.Stats()
+	if misses2 != misses {
+		t.Errorf("TCLe re-scheduled %d groups the TCLp run already cached", misses2-misses)
+	}
+	if hits2 != misses {
+		t.Errorf("TCLe hit %d cached groups, want all %d", hits2, misses)
+	}
+	// Front-end results are back-end independent; the shared schedules must
+	// reproduce the same slot census.
+	if !reflect.DeepEqual(p.FrontEnd, e.FrontEnd) {
+		t.Error("cached schedules changed the front-end census across back-ends")
+	}
+	// And a cached re-run of the identical config is bit-identical.
+	p2 := SimulateLayerOpts(arch.NewTCL(sched.T(2, 5), arch.TCLp), lw, Options{Cache: cache})
+	if !reflect.DeepEqual(p, p2) {
+		t.Error("cache hit changed the simulation result")
+	}
+}
+
+// TestParallelLayerMatchesSerial covers the direct SimulateLayerOpts path
+// on hand-built layers, including the row-variant depthwise lowering whose
+// cost grid optimization must not change the census.
+func TestParallelLayerMatchesSerial(t *testing.T) {
+	lws := []*nn.Lowered{
+		testConv(t, 21, 40, 24, 3, 3, 6, 0.6, 0.4),
+		testFC(t, 22, 40, 64, 18, 0.7),
+		testDW(t, 23, 40, 5),
+	}
+	for _, lw := range lws {
+		for _, cfg := range table2Configs() {
+			want := SimulateLayerOpts(cfg, lw, Options{Parallelism: 1, DisableCache: true})
+			got := SimulateLayerOpts(cfg, lw, Options{Parallelism: 8, Cache: sched.NewCache(0)})
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("%s/%s: parallel layer result differs from serial", lw.Name, cfg.Name)
+			}
+		}
+	}
+}

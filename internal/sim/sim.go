@@ -9,8 +9,16 @@ import (
 	"bittactical/internal/tensor"
 )
 
-// SimulateModel runs every layer of a model under the configuration.
+// SimulateModel runs every layer of a model under the configuration with
+// default engine options (GOMAXPROCS workers, shared schedule cache).
 func SimulateModel(cfg arch.Config, m *nn.Model, acts []*tensor.T) (*Result, error) {
+	return SimulateModelOpts(cfg, m, acts, Options{})
+}
+
+// SimulateModelOpts runs every layer of a model under the configuration,
+// decomposed into independent (layer, filter-group) work items executed by
+// the option's worker pool. Output is bit-identical at any Parallelism.
+func SimulateModelOpts(cfg arch.Config, m *nn.Model, acts []*tensor.T, opts Options) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -19,14 +27,11 @@ func SimulateModel(cfg arch.Config, m *nn.Model, acts []*tensor.T) (*Result, err
 		return nil, err
 	}
 	res := &Result{Config: cfg.Name}
-	for _, lw := range lws {
-		res.Layers = append(res.Layers, SimulateLayer(cfg, lw))
-	}
+	res.Layers = simulateLayers(cfg, lws, opts)
 	return res, nil
 }
 
-// SimulateLayer runs one lowered layer under the configuration and returns
-// cycles, the Figure-9 censuses, and datapath activity.
+// SimulateLayer runs one lowered layer with default engine options.
 //
 // Mapping (Section 5.3): filters are assigned to tiles and PE rows; the
 // serial back-ends process WindowsPerTile activation windows concurrently
@@ -34,10 +39,66 @@ func SimulateModel(cfg arch.Config, m *nn.Model, acts []*tensor.T) (*Result, err
 // fully-connected layers) split the reduction across spare columns instead,
 // combining partial sums over the per-row ring.
 func SimulateLayer(cfg arch.Config, lw *nn.Lowered) LayerResult {
-	if lw.Lanes != cfg.Lanes {
-		panic(fmt.Sprintf("sim: lowered lanes %d != config lanes %d", lw.Lanes, cfg.Lanes))
+	return SimulateLayerOpts(cfg, lw, Options{})
+}
+
+// SimulateLayerOpts runs one lowered layer under the configuration and
+// returns cycles, the Figure-9 censuses, and datapath activity.
+func SimulateLayerOpts(cfg arch.Config, lw *nn.Lowered, opts Options) LayerResult {
+	return simulateLayers(cfg, []*nn.Lowered{lw}, opts)[0]
+}
+
+// groupSpan is one work item: one resident filter group of one layer.
+type groupSpan struct {
+	layer  int
+	f0, f1 int
+}
+
+// simulateLayers is the engine core shared by the layer and model entry
+// points: it flattens every layer's filter groups into one work queue,
+// executes them on the option's pool (each item accumulating a private
+// groupResult shard), and merges the shards in (layer, group) order so the
+// result does not depend on execution interleaving.
+func simulateLayers(cfg arch.Config, lws []*nn.Lowered, opts Options) []LayerResult {
+	for _, lw := range lws {
+		if lw.Lanes != cfg.Lanes {
+			panic(fmt.Sprintf("sim: lowered lanes %d != config lanes %d", lw.Lanes, cfg.Lanes))
+		}
 	}
 	ct := newCostTable(cfg.BackEnd, cfg.Width)
+	cache := opts.cache()
+	rows := cfg.FiltersPerTile
+
+	pads := make([][]bool, len(lws))
+	outcomes := make([][]groupResult, len(lws))
+	var items []groupSpan
+	for li, lw := range lws {
+		pads[li] = padMask(lw)
+		denseGroups := (lw.Filters + rows - 1) / rows
+		outcomes[li] = make([]groupResult, denseGroups)
+		for g := 0; g < denseGroups; g++ {
+			f0 := g * rows
+			f1 := f0 + rows
+			if f1 > lw.Filters {
+				f1 = lw.Filters
+			}
+			items = append(items, groupSpan{layer: li, f0: f0, f1: f1})
+		}
+	}
+	runPool(opts.workers(), len(items), func(i int) {
+		it := items[i]
+		outcomes[it.layer][it.f0/rows] = simulateGroup(cfg, lws[it.layer], ct, pads[it.layer], it.f0, it.f1, cache)
+	})
+	out := make([]LayerResult, len(lws))
+	for li, lw := range lws {
+		out[li] = mergeLayer(cfg, lw, outcomes[li])
+	}
+	return out
+}
+
+// mergeLayer folds the per-group shards into one LayerResult, in group
+// order, reproducing exactly the accumulation the serial engine performs.
+func mergeLayer(cfg arch.Config, lw *nn.Lowered, outcomes []groupResult) LayerResult {
 	r := LayerResult{Name: lw.Name, MACs: lw.Layer().MACs()}
 
 	rows := cfg.FiltersPerTile
@@ -47,8 +108,6 @@ func SimulateLayer(cfg arch.Config, lw *nn.Lowered) LayerResult {
 	denseGroups := (F + rows - 1) / rows
 	denseRounds := (denseGroups + cfg.Tiles - 1) / cfg.Tiles
 	r.DenseCycles = int64(denseRounds) * int64(steps) * int64(W)
-
-	pad := padMask(lw)
 
 	// Reduction-split factor for window-poor layers on multi-column tiles.
 	split := 1
@@ -73,17 +132,24 @@ func SimulateLayer(cfg arch.Config, lw *nn.Lowered) LayerResult {
 	r.Activity.ActReads = int64(len(lw.Input().Data)) * rowsPerAct * int64(tilesUsed)
 
 	tileTime := make([]int64, cfg.Tiles)
-	for g := 0; g < denseGroups; g++ {
-		f0 := g * rows
-		f1 := f0 + rows
-		if f1 > F {
-			f1 = F
-		}
-		groupCycles := simulateGroup(cfg, lw, ct, pad, f0, f1, &r)
+	for g, gr := range outcomes {
+		groupCycles := gr.cycles
 		if split > 1 {
 			groupCycles = (groupCycles + int64(split) - 1) / int64(split)
 		}
 		tileTime[g%cfg.Tiles] += groupCycles
+		r.FrontEnd.Columns += gr.frontEnd.Columns
+		r.FrontEnd.DenseSteps += gr.frontEnd.DenseSteps
+		for k := range gr.frontEnd.Slots {
+			r.FrontEnd.Slots[k] += gr.frontEnd.Slots[k]
+		}
+		r.BackEnd.Add(gr.backEnd)
+		r.Activity.SerialLaneCycles += gr.activity.SerialLaneCycles
+		r.Activity.ParallelMACs += gr.activity.ParallelMACs
+		r.Activity.WSColumnReads += gr.activity.WSColumnReads
+		r.Activity.MuxSelects += gr.activity.MuxSelects
+		r.Activity.PsumAccesses += gr.activity.PsumAccesses
+		r.Activity.OffsetEncodes += gr.activity.OffsetEncodes
 	}
 	for _, t := range tileTime {
 		if t > r.Cycles {
@@ -120,23 +186,36 @@ type laneRef struct {
 	weight     int32 // 0 for idle lanes
 }
 
+// groupResult is one filter group's private accumulation shard: everything
+// simulateGroup learns about the group, free of shared state so groups can
+// execute on any worker in any order.
+type groupResult struct {
+	cycles   int64
+	frontEnd sched.Stats
+	backEnd  Breakdown
+	activity Activity
+}
+
 // simulateGroup executes one resident filter group (one tile's PE rows)
-// over all windows, accumulating censuses and activity into r, and returns
-// the group's cycle count.
-func simulateGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f0, f1 int, r *LayerResult) int64 {
+// over all windows and returns the group's shard.
+func simulateGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f0, f1 int, cache *sched.Cache) groupResult {
 	lanes, rows, wg := cfg.Lanes, cfg.FiltersPerTile, cfg.WindowsPerTile
 	steps, W := lw.Steps, lw.WindowCount
 	nrows := f1 - f0
+	var r groupResult
 
 	filters := make([]sched.Filter, nrows)
 	for i := 0; i < nrows; i++ {
 		filters[i] = sched.NewFilter(lanes, steps, lw.FilterRow(f0+i), pad)
 	}
 	var schedules []*sched.Schedule
-	if cfg.HasFrontEnd() {
-		schedules = sched.ScheduleGroup(filters, cfg.Pattern, cfg.Scheduler)
-	} else {
+	switch {
+	case !cfg.HasFrontEnd():
 		schedules = denseSchedules(filters)
+	case cache != nil:
+		schedules = cache.ScheduleGroup(filters, cfg.Pattern, cfg.Scheduler)
+	default:
+		schedules = sched.ScheduleGroup(filters, cfg.Pattern, cfg.Scheduler)
 	}
 	cols := 0
 	if nrows > 0 {
@@ -146,19 +225,19 @@ func simulateGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f
 	// Front-end census.
 	for i, s := range schedules {
 		st := s.Stats(filters[i])
-		r.FrontEnd.Columns += st.Columns
-		r.FrontEnd.DenseSteps += st.DenseSteps
+		r.frontEnd.Columns += st.Columns
+		r.frontEnd.DenseSteps += st.DenseSteps
 		for k := range st.Slots {
-			r.FrontEnd.Slots[k] += st.Slots[k]
+			r.frontEnd.Slots[k] += st.Slots[k]
 		}
 	}
 	// Filter-count padding: PE rows beyond the layer's filters idle.
-	r.FrontEnd.Slots[sched.SlotPad] += int64(rows-nrows) * int64(cols) * int64(lanes)
+	r.frontEnd.Slots[sched.SlotPad] += int64(rows-nrows) * int64(cols) * int64(lanes)
 
 	numWGroups := (W + wg - 1) / wg
-	r.Activity.WSColumnReads += int64(cols) * ceilDiv64(int64(numWGroups), int64(cfg.PsumRegsPerPE))
-	r.Activity.MuxSelects += muxSelects(cfg, schedules, W)
-	r.Activity.PsumAccesses += int64(nrows) * int64(cols) * int64(W)
+	r.activity.WSColumnReads += int64(cols) * ceilDiv64(int64(numWGroups), int64(cfg.PsumRegsPerPE))
+	r.activity.MuxSelects += muxSelects(cfg, schedules, W)
+	r.activity.PsumAccesses += int64(nrows) * int64(cols) * int64(W)
 
 	if cfg.BackEnd == arch.BitParallel {
 		var macs int64
@@ -176,8 +255,9 @@ func simulateGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f
 			// The dense baseline multiplies every lane every cycle.
 			macs = int64(nrows) * int64(lanes) * int64(cols)
 		}
-		r.Activity.ParallelMACs += macs * int64(W)
-		return int64(cols) * int64(W)
+		r.activity.ParallelMACs += macs * int64(W)
+		r.cycles = int64(cols) * int64(W)
+		return r
 	}
 
 	// Serial back-ends: column structure is window-independent; precompute
@@ -207,50 +287,83 @@ func simulateGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f
 	// synchronization at the end of each group of concurrently processed
 	// activations", charged as "Tile Sync"). Each PE grid column owns the
 	// windows congruent to its position.
+	//
+	// Cost evaluation is single-pass: each lane's serial cost is computed
+	// once per (column, row, window) into laneCost, feeding both the
+	// column-max and the census. Where the activation fetch is
+	// row-independent (FC, ungrouped conv), costs are precomputed per
+	// window group into a dense (window, step, lane) grid and shared across
+	// all PE rows and schedule columns.
 	gate := cfg.HasFrontEnd()
+	rowInv := lw.ActRowInvariant()
 	var serial int64
 	peTotals := make([]int64, nrows*wg)
+	laneCost := make([]uint8, lanes)
+	var grid []uint8
+	if rowInv {
+		grid = make([]uint8, wg*steps*lanes)
+	}
 	for w0 := 0; w0 < W; w0 += wg {
 		w1 := w0 + wg
 		if w1 > W {
 			w1 = W
 		}
 		nw := w1 - w0
+		if rowInv {
+			for wi := 0; wi < nw; wi++ {
+				g := grid[wi*steps*lanes : (wi+1)*steps*lanes]
+				for st := 0; st < steps; st++ {
+					for ln := 0; ln < lanes; ln++ {
+						g[st*lanes+ln] = ct.costU8(lw.Act(f0, w0+wi, st, ln))
+					}
+				}
+			}
+		}
 		for ci := 0; ci < cols; ci++ {
 			for ri := 0; ri < nrows; ri++ {
 				refs := colRefs[ci][ri]
 				fIdx := f0 + ri
 				for wi := 0; wi < nw; wi++ {
-					// Pass 1: the PE's column duration.
 					peMax := 1
-					for ln := 0; ln < lanes; ln++ {
-						rf := refs[ln]
-						if gate && rf.weight == 0 {
-							continue
+					if rowInv {
+						g := grid[wi*steps*lanes:]
+						for ln := 0; ln < lanes; ln++ {
+							rf := refs[ln]
+							c := g[int(rf.step)*lanes+int(rf.lane)]
+							laneCost[ln] = c
+							if (rf.weight != 0 || !gate) && int(c) > peMax {
+								peMax = int(c)
+							}
 						}
-						if c := ct.cost(lw.Act(fIdx, w0+wi, int(rf.step), int(rf.lane))); c > peMax {
-							peMax = c
+					} else {
+						for ln := 0; ln < lanes; ln++ {
+							rf := refs[ln]
+							c := ct.costU8(lw.Act(fIdx, w0+wi, int(rf.step), int(rf.lane)))
+							laneCost[ln] = c
+							if (rf.weight != 0 || !gate) && int(c) > peMax {
+								peMax = int(c)
+							}
 						}
 					}
 					peTotals[ri*wg+wi] += int64(peMax)
-					// Pass 2: lane census for this PE column.
+					// Lane census for this PE column, from the same costs.
 					for ln := 0; ln < lanes; ln++ {
 						rf := refs[ln]
-						c := ct.cost(lw.Act(fIdx, w0+wi, int(rf.step), int(rf.lane)))
+						c := int(laneCost[ln])
 						switch {
 						case rf.weight != 0 && c > 0:
-							r.BackEnd.Useful += int64(c)
-							r.BackEnd.ColumnSync += int64(peMax - c)
+							r.backEnd.Useful += int64(c)
+							r.backEnd.ColumnSync += int64(peMax - c)
 							serial += int64(c)
 						case rf.weight != 0:
-							r.BackEnd.AZero += int64(peMax)
+							r.backEnd.AZero += int64(peMax)
 						case c > 0:
-							r.BackEnd.WZero += int64(peMax)
+							r.backEnd.WZero += int64(peMax)
 							if !gate {
 								serial += int64(c)
 							}
 						default:
-							r.BackEnd.BothZero += int64(peMax)
+							r.backEnd.BothZero += int64(peMax)
 						}
 					}
 				}
@@ -271,15 +384,16 @@ func simulateGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f
 	// loss, so the census skips them. Absent rows burn the whole duration.
 	for _, t := range peTotals {
 		if t > 0 {
-			r.BackEnd.TileSync += (groupCycles - t) * int64(lanes)
+			r.backEnd.TileSync += (groupCycles - t) * int64(lanes)
 		}
 	}
-	r.BackEnd.WZero += int64(rows-nrows) * int64(wg) * int64(lanes) * groupCycles
-	r.Activity.SerialLaneCycles += serial
+	r.backEnd.WZero += int64(rows-nrows) * int64(wg) * int64(lanes) * groupCycles
+	r.activity.SerialLaneCycles += serial
 	if cfg.BackEnd == arch.TCLe {
-		r.Activity.OffsetEncodes += int64(cols) * int64(lanes) * int64(W)
+		r.activity.OffsetEncodes += int64(cols) * int64(lanes) * int64(W)
 	}
-	return groupCycles
+	r.cycles = groupCycles
+	return r
 }
 
 func ceilDiv64(a, b int64) int64 {
