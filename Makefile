@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-sim fmt clean
+.PHONY: all build vet test race check bench bench-sim bench-sched fuzz-sched fmt clean
 
 all: check
 
@@ -27,6 +27,17 @@ bench:
 # Regenerate BENCH_sim.json: fig8/fig11 ns/op at Parallelism 1 and 8.
 bench-sim:
 	TCL_BENCH_SIM=1 $(GO) test -run TestEmitBenchSim -v -timeout 60m
+
+# Regenerate BENCH_sched.json: scheduler kernel vs reference ns/op and
+# allocs/op across the Table-2 pattern x algorithm sweep.
+bench-sched:
+	TCL_BENCH_SCHED=1 $(GO) test ./internal/sched -run TestEmitBenchSched -v -timeout 30m
+
+# Differential fuzz of the optimized scheduling kernel against the reference
+# implementation (FUZZTIME defaults to 30s; raise for soak runs).
+FUZZTIME ?= 30s
+fuzz-sched:
+	$(GO) test ./internal/sched -fuzz FuzzKernelMatchesReference -fuzztime $(FUZZTIME) -run '^$$'
 
 fmt:
 	gofmt -w .

@@ -154,21 +154,33 @@ func TestEmitBenchSim(t *testing.T) {
 	type record struct {
 		ID          string  `json:"id"`
 		Parallelism int     `json:"parallelism"`
+		GoMaxProcs  int     `json:"go_max_procs"`
 		NsPerOp     int64   `json:"ns_per_op"`
 		Iterations  int     `json:"iterations"`
 		Speedup     float64 `json:"speedup_vs_serial,omitempty"`
 	}
+	// A worker pool cannot run faster than the scheduler lets it: when
+	// GOMAXPROCS is 1 (single-core hosts, constrained containers) the j=8
+	// measurement is the serial engine plus goroutine overhead, and a
+	// "speedup" derived from it is noise. Record the effective GOMAXPROCS on
+	// every measurement and emit speedup_vs_serial only when the host could
+	// actually run workers concurrently.
+	concurrent := runtime.GOMAXPROCS(0) > 1
 	out := struct {
 		Generated  string   `json:"generated"`
 		GoMaxProcs int      `json:"go_max_procs"`
 		NumCPU     int      `json:"num_cpu"`
 		Zoo        string   `json:"zoo"`
+		Note       string   `json:"note,omitempty"`
 		Benchmarks []record `json:"benchmarks"`
 	}{
 		Generated:  time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Zoo:        "channel scale 0.125, spatial scale 0.35, 25 trials",
+	}
+	if !concurrent {
+		out.Note = "GOMAXPROCS=1: parallel runs cannot overlap on this host; speedup_vs_serial suppressed"
 	}
 	serialNs := map[string]int64{}
 	for _, id := range []string{"fig8a", "fig8b", "fig11a", "fig11b"} {
@@ -187,10 +199,14 @@ func TestEmitBenchSim(t *testing.T) {
 					}
 				}
 			})
-			rec := record{ID: id, Parallelism: par, NsPerOp: r.NsPerOp(), Iterations: r.N}
+			rec := record{
+				ID: id, Parallelism: par,
+				GoMaxProcs: runtime.GOMAXPROCS(0),
+				NsPerOp:    r.NsPerOp(), Iterations: r.N,
+			}
 			if par == 1 {
 				serialNs[id] = r.NsPerOp()
-			} else if s := serialNs[id]; s > 0 && r.NsPerOp() > 0 {
+			} else if s := serialNs[id]; concurrent && s > 0 && r.NsPerOp() > 0 {
 				rec.Speedup = float64(s) / float64(r.NsPerOp())
 			}
 			out.Benchmarks = append(out.Benchmarks, rec)

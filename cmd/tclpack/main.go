@@ -98,6 +98,12 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker owns a scheduler kernel: tclpack visits every group
+			// exactly once, so memoizing through the shared cache buys nothing
+			// — arena mode schedules allocation-free, and each group's
+			// schedules are fully consumed (verify, encode, round-trip) before
+			// the worker's next ScheduleGroup call invalidates them.
+			sc := sched.NewScheduler()
 			for {
 				ji := int(next.Add(1)) - 1
 				if ji >= len(jobs) {
@@ -110,7 +116,7 @@ func main() {
 				for i := range group {
 					group[i] = sched.NewFilter(lw.Lanes, lw.Steps, lw.FilterRow(j.f0+i), j.pad)
 				}
-				for i, s := range sched.Shared.ScheduleGroup(group, p, sched.Algorithm1) {
+				for i, s := range sc.ScheduleGroup(group, p, sched.Algorithm1) {
 					if err := sched.Verify(group[i], p, s); err != nil {
 						r.err = fmt.Errorf("%s filter %d: %w", lw.Name, j.f0+i, err)
 						return

@@ -7,6 +7,7 @@
 //	tclsim -exp fig12 -models AlexNet-ES,ResNet50-SS
 //	tclsim -exp table1 -cscale 0.5 -sscale 0.5   # larger instantiation
 //	tclsim -exp fig8b -j 8 -cpuprofile cpu.out   # bounded parallelism + pprof
+//	tclsim -exp all -schedstats       # report schedule-cache effectiveness
 //	tclsim -list
 package main
 
@@ -22,6 +23,7 @@ import (
 	"bittactical/internal/experiments"
 	"bittactical/internal/nn"
 	"bittactical/internal/profiling"
+	"bittactical/internal/sched"
 )
 
 func main() {
@@ -35,6 +37,7 @@ func main() {
 		trials  = flag.Int("trials", 100, "filters per point for fig11")
 		par     = flag.Int("j", 0, "worker parallelism (0 = GOMAXPROCS)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
+		sstats  = flag.Bool("schedstats", false, "print schedule-cache hit/miss stats on exit")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -90,6 +93,16 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+	if *sstats {
+		hits, misses, entries := sched.Shared.Stats()
+		total := hits + misses
+		var rate float64
+		if total > 0 {
+			rate = 100 * float64(hits) / float64(total)
+		}
+		fmt.Printf("schedule cache: %d hits / %d misses (%.1f%% hit rate), %d resident entries\n",
+			hits, misses, rate, entries)
 	}
 }
 

@@ -38,20 +38,15 @@ func (a Algorithm) String() string {
 	}
 }
 
-// ScheduleFilter schedules a single filter.
-func ScheduleFilter(f Filter, p Pattern, alg Algorithm) *Schedule {
-	return ScheduleGroup([]Filter{f}, p, alg)[0]
-}
-
-// ScheduleGroup jointly schedules the filters that share a tile's activation
-// window (one per PE row). The ASU and its ALC advance are physically shared
-// across rows (Section 5.2: all ASU slices operate in tandem), so the window
-// slides only when every filter has consumed the head step; a filter that
-// drains early idles until the group finishes — the inter-filter
-// synchronization charged as lost time in Figure 9.
+// scheduleGroupReference is the straightforward scheduler: it re-enumerates
+// every lane's promotion candidates from scratch each column with fresh
+// slices and sorts. It is kept as the executable specification the optimized
+// kernel (kernel.go) is differentially fuzzed against, and as the fallback
+// for patterns with more than 64 offsets (beyond the kernel's per-lane
+// candidate bitset).
 //
 // All returned schedules have identical column counts, heads, and advances.
-func ScheduleGroup(filters []Filter, p Pattern, alg Algorithm) []*Schedule {
+func scheduleGroupReference(filters []Filter, p Pattern, alg Algorithm) []*Schedule {
 	if len(filters) == 0 {
 		return nil
 	}
@@ -106,7 +101,7 @@ func ScheduleGroup(filters []Filter, p Pattern, alg Algorithm) []*Schedule {
 	for pending > 0 {
 		for i, f := range filters {
 			col := Column{Head: head, Entries: make([]Entry, lanes)}
-			buildColumn(f, p, alg, done[i], stepPending[i], head, col.Entries)
+			referenceBuildColumn(f, p, alg, done[i], stepPending[i], head, col.Entries)
 			out[i].Columns = append(out[i].Columns, col)
 		}
 		// Count what each filter executed this column against pending.
@@ -150,9 +145,13 @@ type cand struct {
 	srcLane int
 }
 
-// buildColumn fills entries for one filter at the given head, marking
-// executed weights in done/stepPending. Returns the number of idle lanes.
-func buildColumn(f Filter, p Pattern, alg Algorithm, done []bool, stepPending []int, head int, entries []Entry) int {
+// referenceBuildColumn fills entries for one filter at the given head,
+// marking executed weights in done/stepPending. Returns the number of idle
+// lanes. Every choice is fully deterministic: candidate order is the stable
+// (srcStep, |Dl|, pattern-offset index) order, and lanes are visited in
+// ascending index order — the exact tie-breaking contract the optimized
+// kernel reproduces.
+func referenceBuildColumn(f Filter, p Pattern, alg Algorithm, done []bool, stepPending []int, head int, entries []Entry) int {
 	lanes, steps := f.Lanes, f.Steps
 	take := func(lane, srcStep, srcLane, dt, dl int) {
 		pos := srcStep*lanes + srcLane
@@ -192,21 +191,23 @@ func buildColumn(f Filter, p Pattern, alg Algorithm, done []bool, stepPending []
 	case Matching:
 		// Maximum bipartite matching between free lanes and reachable
 		// weights; candidates are ordered earliest-step-first so augmenting
-		// favors draining the window head.
-		laneCands := make(map[int][]cand)
+		// favors draining the window head. Lanes augment in ascending index
+		// order so the matching (not just its size) is deterministic.
+		laneCands := make([][]cand, lanes)
 		posOwner := map[int]int{} // weight position -> lane
 		for ln := 0; ln < lanes; ln++ {
 			if assigned[ln] {
 				continue
 			}
 			cs := candidatesOf(ln)
-			sort.Slice(cs, func(a, b int) bool { return better(cs[a], cs[b]) })
+			sort.SliceStable(cs, func(a, b int) bool { return better(cs[a], cs[b]) })
 			laneCands[ln] = cs
 		}
-		laneMatch := map[int]cand{}
+		laneMatch := make([]*cand, lanes)
 		var try func(ln int, visited map[int]bool) bool
 		try = func(ln int, visited map[int]bool) bool {
-			for _, c := range laneCands[ln] {
+			for i := range laneCands[ln] {
+				c := laneCands[ln][i]
 				pos := c.srcStep*lanes + c.srcLane
 				if visited[pos] {
 					continue
@@ -215,18 +216,21 @@ func buildColumn(f Filter, p Pattern, alg Algorithm, done []bool, stepPending []
 				owner, taken := posOwner[pos]
 				if !taken || try(owner, visited) {
 					posOwner[pos] = ln
-					laneMatch[ln] = c
+					laneMatch[ln] = &laneCands[ln][i]
 					return true
 				}
 			}
 			return false
 		}
-		for ln := range laneCands {
-			try(ln, map[int]bool{})
+		for ln := 0; ln < lanes; ln++ {
+			if !assigned[ln] {
+				try(ln, map[int]bool{})
+			}
 		}
-		for ln, c := range laneMatch {
-			if posOwner[c.srcStep*lanes+c.srcLane] != ln {
-				continue // displaced by an augmenting path
+		for ln := 0; ln < lanes; ln++ {
+			c := laneMatch[ln]
+			if c == nil || posOwner[c.srcStep*lanes+c.srcLane] != ln {
+				continue // unmatched, or displaced by an augmenting path
 			}
 			take(ln, c.srcStep, c.srcLane, c.off.Dt, c.off.Dl)
 			assigned[ln] = true
@@ -252,17 +256,24 @@ func buildColumn(f Filter, p Pattern, alg Algorithm, done []bool, stepPending []
 		}
 	default: // Algorithm1
 		for {
-			type laneCands struct {
+			type openSlot struct {
 				lane int
-				cs   []cand
+				n    int // flexibility: how many candidates can fill the slot
+				best cand
 			}
-			var open []laneCands
+			var open []openSlot
 			for ln := 0; ln < lanes; ln++ {
 				if assigned[ln] {
 					continue
 				}
 				if cs := candidatesOf(ln); len(cs) > 0 {
-					open = append(open, laneCands{lane: ln, cs: cs})
+					b := cs[0]
+					for _, c := range cs[1:] {
+						if better(c, b) {
+							b = c
+						}
+					}
+					open = append(open, openSlot{lane: ln, n: len(cs), best: b})
 				}
 			}
 			if len(open) == 0 {
@@ -271,36 +282,15 @@ func buildColumn(f Filter, p Pattern, alg Algorithm, done []bool, stepPending []
 			// Fill the least-flexible slot first (exclusive promotions when
 			// the minimum is 1), per Algorithm 1 lines 13–24. Ties go to the
 			// slot whose best candidate moves the least (in-lane lookahead
-			// before lane-crossing lookaside), then to the lowest lane.
-			bests := make([]cand, len(open))
-			for i, oc := range open {
-				b := oc.cs[0]
-				for _, c := range oc.cs[1:] {
-					if better(c, b) {
-						b = c
-					}
-				}
-				bests[i] = b
-			}
-			sort.SliceStable(open, func(a, b int) bool {
-				if len(open[a].cs) != len(open[b].cs) {
-					return len(open[a].cs) < len(open[b].cs)
-				}
-				if da, db := abs(bests[a].off.Dl), abs(bests[b].off.Dl); da != db {
-					return da < db
-				}
-				return open[a].lane < open[b].lane
-			})
-			// Recompute the winning slot's best candidate after the sort
-			// (bests was indexed pre-sort).
+			// before lane-crossing lookaside), then to the lowest lane
+			// (implicit: open is built in ascending lane order).
 			slot := open[0]
-			best := slot.cs[0]
-			for _, c := range slot.cs[1:] {
-				if better(c, best) {
-					best = c
+			for _, o := range open[1:] {
+				if o.n < slot.n || (o.n == slot.n && abs(o.best.off.Dl) < abs(slot.best.off.Dl)) {
+					slot = o
 				}
 			}
-			take(slot.lane, best.srcStep, best.srcLane, best.off.Dt, best.off.Dl)
+			take(slot.lane, slot.best.srcStep, slot.best.srcLane, slot.best.off.Dt, slot.best.off.Dl)
 			assigned[slot.lane] = true
 		}
 		for ln := 0; ln < lanes; ln++ {
@@ -375,11 +365,4 @@ func scheduleInfinite(filters []Filter) []*Schedule {
 		out[i] = s
 	}
 	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -99,6 +99,35 @@ func TestScheduleCacheSharedAcrossBackEnds(t *testing.T) {
 	}
 }
 
+// TestSubGroupChunkDeterminism pins the fig8b fix: layers that lower to a
+// single filter group (or just a few) split below the group grain into
+// window chunks, and the stitched result must stay bit-identical to serial
+// at every worker count — including counts that do not divide the layer's
+// window-group count evenly, which exercises uneven chunk boundaries and a
+// partial final window group.
+func TestSubGroupChunkDeterminism(t *testing.T) {
+	lws := []*nn.Lowered{
+		// 12 filters < FiltersPerTile: exactly one group, many windows.
+		testConv(t, 31, 12, 24, 3, 3, 7, 0.6, 0.4),
+		// Depthwise single group, row-variant activation fetch.
+		testDW(t, 32, 14, 7),
+		// FC: windows = timesteps, fewer windows than a full tile column set.
+		testFC(t, 33, 12, 64, 6, 0.7),
+	}
+	for _, lw := range lws {
+		for _, cfg := range table2Configs() {
+			want := SimulateLayerOpts(cfg, lw, Options{Parallelism: 1, DisableCache: true})
+			for _, par := range []int{2, 3, 5, 8, 16} {
+				got := SimulateLayerOpts(cfg, lw, Options{Parallelism: par, DisableCache: true})
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("%s/%s: Parallelism=%d chunked result differs from serial",
+						lw.Name, cfg.Name, par)
+				}
+			}
+		}
+	}
+}
+
 // TestParallelLayerMatchesSerial covers the direct SimulateLayerOpts path
 // on hand-built layers, including the row-variant depthwise lowering whose
 // cost grid optimization must not change the census.

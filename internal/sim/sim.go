@@ -2,6 +2,8 @@ package sim
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"bittactical/internal/arch"
 	"bittactical/internal/nn"
@@ -48,17 +50,41 @@ func SimulateLayerOpts(cfg arch.Config, lw *nn.Lowered, opts Options) LayerResul
 	return simulateLayers(cfg, []*nn.Lowered{lw}, opts)[0]
 }
 
-// groupSpan is one work item: one resident filter group of one layer.
-type groupSpan struct {
-	layer  int
-	f0, f1 int
+// workItem is one unit of pool work: one window chunk [w0, w1) of one
+// resident filter group of one layer. Most groups are a single chunk; when a
+// load yields fewer filter groups than workers, groups split below the
+// filter-group grain into contiguous window ranges (aligned to the tile's
+// window-group size) so the pool stays busy on low-group-count layers — the
+// fig8b scaling cliff.
+type workItem struct {
+	layer, group int
+	f0, f1       int
+	w0, w1       int
+	chunk        int
+}
+
+// groupAccum coordinates the chunks of one filter group. The first chunk
+// worker to arrive prepares the shared group context (schedules, column
+// references, window-independent censuses) under the Once; the last chunk to
+// finish folds the window partials into the group's result shard and drops
+// the context, keeping peak memory at the pre-chunking level. Every partial
+// is a plain integer sum, so the fold is exact regardless of chunk count or
+// completion order — parallel output stays bit-identical to serial at any
+// worker count.
+type groupAccum struct {
+	once      sync.Once
+	ctx       *groupCtx
+	partials  []windowPartial
+	remaining atomic.Int32
+	result    groupResult
 }
 
 // simulateLayers is the engine core shared by the layer and model entry
-// points: it flattens every layer's filter groups into one work queue,
-// executes them on the option's pool (each item accumulating a private
-// groupResult shard), and merges the shards in (layer, group) order so the
-// result does not depend on execution interleaving.
+// points: it flattens every layer's filter groups into one work queue
+// (splitting groups into window chunks when groups alone cannot fill the
+// pool), executes the chunks on the option's pool, and merges the shards in
+// (layer, group) order so the result does not depend on execution
+// interleaving.
 func simulateLayers(cfg arch.Config, lws []*nn.Lowered, opts Options) []LayerResult {
 	for _, lw := range lws {
 		if lw.Lanes != cfg.Lanes {
@@ -68,30 +94,78 @@ func simulateLayers(cfg arch.Config, lws []*nn.Lowered, opts Options) []LayerRes
 	ct := newCostTable(cfg.BackEnd, cfg.Width)
 	cache := opts.cache()
 	rows := cfg.FiltersPerTile
+	workers := opts.workers()
+
+	totalGroups := 0
+	for _, lw := range lws {
+		totalGroups += (lw.Filters + rows - 1) / rows
+	}
+	// Sub-group split factor: only when whole groups cannot occupy the pool,
+	// and only for the serial back-ends whose per-window evaluation dominates
+	// (the bit-parallel path is already window-independent and cheap).
+	chunksPerGroup := 1
+	if cfg.BackEnd != arch.BitParallel && totalGroups > 0 && totalGroups < workers {
+		chunksPerGroup = (workers + totalGroups - 1) / totalGroups
+	}
 
 	pads := make([][]bool, len(lws))
-	outcomes := make([][]groupResult, len(lws))
-	var items []groupSpan
+	accums := make([][]groupAccum, len(lws))
+	var items []workItem
 	for li, lw := range lws {
 		pads[li] = padMask(lw)
 		denseGroups := (lw.Filters + rows - 1) / rows
-		outcomes[li] = make([]groupResult, denseGroups)
+		accums[li] = make([]groupAccum, denseGroups)
+		// Chunks are aligned to the tile's window-group size so each chunk
+		// sees whole window groups (the unit the PE-total accumulation and
+		// the row-invariant cost grid are indexed by).
+		windowGroups := (lw.WindowCount + cfg.WindowsPerTile - 1) / cfg.WindowsPerTile
+		nChunks := min(chunksPerGroup, windowGroups)
+		if nChunks < 1 {
+			nChunks = 1
+		}
 		for g := 0; g < denseGroups; g++ {
 			f0 := g * rows
-			f1 := f0 + rows
-			if f1 > lw.Filters {
-				f1 = lw.Filters
+			f1 := min(f0+rows, lw.Filters)
+			ga := &accums[li][g]
+			ga.partials = make([]windowPartial, nChunks)
+			ga.remaining.Store(int32(nChunks))
+			for c := 0; c < nChunks; c++ {
+				// Even split of window groups across chunks, in window units.
+				wg0 := windowGroups * c / nChunks
+				wg1 := windowGroups * (c + 1) / nChunks
+				items = append(items, workItem{
+					layer: li, group: g, f0: f0, f1: f1,
+					w0:    wg0 * cfg.WindowsPerTile,
+					w1:    min(wg1*cfg.WindowsPerTile, lw.WindowCount),
+					chunk: c,
+				})
 			}
-			items = append(items, groupSpan{layer: li, f0: f0, f1: f1})
 		}
 	}
-	runPool(opts.workers(), len(items), func(i int) {
+	runPool(workers, len(items), func(i int) {
 		it := items[i]
-		outcomes[it.layer][it.f0/rows] = simulateGroup(cfg, lws[it.layer], ct, pads[it.layer], it.f0, it.f1, cache)
+		lw := lws[it.layer]
+		ga := &accums[it.layer][it.group]
+		ga.once.Do(func() {
+			ga.ctx = prepareGroup(cfg, lw, ct, pads[it.layer], it.f0, it.f1, cache)
+		})
+		var wp windowPartial
+		if ga.ctx.needsWindows {
+			wp = ga.ctx.evalWindows(cfg, lw, ct, it.w0, it.w1)
+		}
+		ga.partials[it.chunk] = wp
+		if ga.remaining.Add(-1) == 0 {
+			ga.result = finishGroup(cfg, ga.ctx, ga.partials)
+			ga.ctx = nil
+		}
 	})
 	out := make([]LayerResult, len(lws))
 	for li, lw := range lws {
-		out[li] = mergeLayer(cfg, lw, outcomes[li])
+		outcomes := make([]groupResult, len(accums[li]))
+		for g := range accums[li] {
+			outcomes[g] = accums[li][g].result
+		}
+		out[li] = mergeLayer(cfg, lw, outcomes)
 	}
 	return out
 }
@@ -196,13 +270,39 @@ type groupResult struct {
 	activity Activity
 }
 
-// simulateGroup executes one resident filter group (one tile's PE rows)
-// over all windows and returns the group's shard.
-func simulateGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f0, f1 int, cache *sched.Cache) groupResult {
+// groupCtx is the window-independent state of one filter group, built once
+// per group (under the groupAccum's Once) and shared read-only by every
+// window chunk of that group.
+type groupCtx struct {
+	f0, f1       int
+	nrows, cols  int
+	needsWindows bool // serial back-ends walk windows; bit-parallel is done at prepare
+	colRefs      [][][]laneRef
+	gate, rowInv bool
+	base         groupResult // window-independent accumulations (full result when !needsWindows)
+}
+
+// windowPartial is one chunk's contribution: per-(row, PE column) cycle
+// totals plus the lane census and serial-cycle count over the chunk's
+// windows. All fields are exact integer sums, so chunk partials fold
+// element-wise into precisely the serial engine's accumulators.
+type windowPartial struct {
+	peTotals []int64
+	backEnd  Breakdown
+	serial   int64
+}
+
+// prepareGroup builds one resident filter group's shared context: filters,
+// schedules, the front-end census, datapath activity that depends only on
+// column structure, and the per-column lane references the window walk
+// consumes. For the bit-parallel back-end the group's full result is
+// computed here (its cost model is window-independent).
+func prepareGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f0, f1 int, cache *sched.Cache) *groupCtx {
 	lanes, rows, wg := cfg.Lanes, cfg.FiltersPerTile, cfg.WindowsPerTile
 	steps, W := lw.Steps, lw.WindowCount
 	nrows := f1 - f0
-	var r groupResult
+	ctx := &groupCtx{f0: f0, f1: f1, nrows: nrows}
+	r := &ctx.base
 
 	filters := make([]sched.Filter, nrows)
 	for i := 0; i < nrows; i++ {
@@ -221,6 +321,7 @@ func simulateGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f
 	if nrows > 0 {
 		cols = schedules[0].Len()
 	}
+	ctx.cols = cols
 
 	// Front-end census.
 	for i, s := range schedules {
@@ -257,14 +358,18 @@ func simulateGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f
 		}
 		r.activity.ParallelMACs += macs * int64(W)
 		r.cycles = int64(cols) * int64(W)
-		return r
+		return ctx
+	}
+	ctx.needsWindows = true
+	if cfg.BackEnd == arch.TCLe {
+		r.activity.OffsetEncodes += int64(cols) * int64(lanes) * int64(W)
 	}
 
 	// Serial back-ends: column structure is window-independent; precompute
-	// per-column, per-row lane references once.
-	colRefs := make([][][]laneRef, cols)
+	// per-column, per-row lane references once, shared by every chunk.
+	ctx.colRefs = make([][][]laneRef, cols)
 	for ci := 0; ci < cols; ci++ {
-		colRefs[ci] = make([][]laneRef, nrows)
+		ctx.colRefs[ci] = make([][]laneRef, nrows)
 		for ri := 0; ri < nrows; ri++ {
 			col := schedules[ri].Columns[ci]
 			refs := make([]laneRef, lanes)
@@ -275,38 +380,47 @@ func simulateGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f
 					refs[ln] = laneRef{step: int32(col.Head), lane: int32(ln)}
 				}
 			}
-			colRefs[ci][ri] = refs
+			ctx.colRefs[ci][ri] = refs
 		}
 	}
+	ctx.gate = cfg.HasFrontEnd()
+	ctx.rowInv = lw.ActRowInvariant()
+	return ctx
+}
 
-	// Lanes within a PE are lockstep every column (they feed one adder
-	// tree), so a PE's column duration is the max lane cost ("Column
-	// Sync"). PEs of a tile run decoupled — buffered weight columns and the
-	// per-PE psum registers absorb rate differences across windows and rows
-	// — and synchronize when the resident filter group completes ("implicit
-	// synchronization at the end of each group of concurrently processed
-	// activations", charged as "Tile Sync"). Each PE grid column owns the
-	// windows congruent to its position.
-	//
-	// Cost evaluation is single-pass: each lane's serial cost is computed
-	// once per (column, row, window) into laneCost, feeding both the
-	// column-max and the census. Where the activation fetch is
-	// row-independent (FC, ungrouped conv), costs are precomputed per
-	// window group into a dense (window, step, lane) grid and shared across
-	// all PE rows and schedule columns.
-	gate := cfg.HasFrontEnd()
-	rowInv := lw.ActRowInvariant()
-	var serial int64
-	peTotals := make([]int64, nrows*wg)
+// evalWindows walks the serial back-end over the window range [w0, w1) —
+// always whole window groups — and returns the chunk's partial sums.
+//
+// Lanes within a PE are lockstep every column (they feed one adder
+// tree), so a PE's column duration is the max lane cost ("Column
+// Sync"). PEs of a tile run decoupled — buffered weight columns and the
+// per-PE psum registers absorb rate differences across windows and rows
+// — and synchronize when the resident filter group completes ("implicit
+// synchronization at the end of each group of concurrently processed
+// activations", charged as "Tile Sync"). Each PE grid column owns the
+// windows congruent to its position.
+//
+// Cost evaluation is single-pass: each lane's serial cost is computed
+// once per (column, row, window) into laneCost, feeding both the
+// column-max and the census. Where the activation fetch is
+// row-independent (FC, ungrouped conv), costs are precomputed per
+// window group into a dense (window, step, lane) grid and shared across
+// all PE rows and schedule columns.
+func (ctx *groupCtx) evalWindows(cfg arch.Config, lw *nn.Lowered, ct *costTable, wLo, wHi int) windowPartial {
+	lanes, wg := cfg.Lanes, cfg.WindowsPerTile
+	steps := lw.Steps
+	nrows, cols, f0 := ctx.nrows, ctx.cols, ctx.f0
+	gate, rowInv := ctx.gate, ctx.rowInv
+	wp := windowPartial{peTotals: make([]int64, nrows*wg)}
 	laneCost := make([]uint8, lanes)
 	var grid []uint8
 	if rowInv {
 		grid = make([]uint8, wg*steps*lanes)
 	}
-	for w0 := 0; w0 < W; w0 += wg {
+	for w0 := wLo; w0 < wHi; w0 += wg {
 		w1 := w0 + wg
-		if w1 > W {
-			w1 = W
+		if w1 > wHi {
+			w1 = wHi
 		}
 		nw := w1 - w0
 		if rowInv {
@@ -321,7 +435,7 @@ func simulateGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f
 		}
 		for ci := 0; ci < cols; ci++ {
 			for ri := 0; ri < nrows; ri++ {
-				refs := colRefs[ci][ri]
+				refs := ctx.colRefs[ci][ri]
 				fIdx := f0 + ri
 				for wi := 0; wi < nw; wi++ {
 					peMax := 1
@@ -345,30 +459,52 @@ func simulateGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f
 							}
 						}
 					}
-					peTotals[ri*wg+wi] += int64(peMax)
+					wp.peTotals[ri*wg+wi] += int64(peMax)
 					// Lane census for this PE column, from the same costs.
 					for ln := 0; ln < lanes; ln++ {
 						rf := refs[ln]
 						c := int(laneCost[ln])
 						switch {
 						case rf.weight != 0 && c > 0:
-							r.backEnd.Useful += int64(c)
-							r.backEnd.ColumnSync += int64(peMax - c)
-							serial += int64(c)
+							wp.backEnd.Useful += int64(c)
+							wp.backEnd.ColumnSync += int64(peMax - c)
+							wp.serial += int64(c)
 						case rf.weight != 0:
-							r.backEnd.AZero += int64(peMax)
+							wp.backEnd.AZero += int64(peMax)
 						case c > 0:
-							r.backEnd.WZero += int64(peMax)
+							wp.backEnd.WZero += int64(peMax)
 							if !gate {
-								serial += int64(c)
+								wp.serial += int64(c)
 							}
 						default:
-							r.backEnd.BothZero += int64(peMax)
+							wp.backEnd.BothZero += int64(peMax)
 						}
 					}
 				}
 			}
 		}
+	}
+	return wp
+}
+
+// finishGroup folds the chunk partials into the group's result shard. The
+// fold order over chunks never matters: peTotals merge by element-wise
+// addition and the census fields are sums, so the max/sync pass below sees
+// exactly the accumulators the serial single-chunk walk would have built.
+func finishGroup(cfg arch.Config, ctx *groupCtx, partials []windowPartial) groupResult {
+	r := ctx.base
+	if !ctx.needsWindows {
+		return r
+	}
+	lanes, rows, wg := cfg.Lanes, cfg.FiltersPerTile, cfg.WindowsPerTile
+	peTotals := make([]int64, ctx.nrows*wg)
+	var serial int64
+	for _, wp := range partials {
+		for i, t := range wp.peTotals {
+			peTotals[i] += t
+		}
+		r.backEnd.Add(wp.backEnd)
+		serial += wp.serial
 	}
 	// Filter-group duration: the slowest PE of the tile.
 	var groupCycles int64
@@ -387,11 +523,8 @@ func simulateGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f
 			r.backEnd.TileSync += (groupCycles - t) * int64(lanes)
 		}
 	}
-	r.backEnd.WZero += int64(rows-nrows) * int64(wg) * int64(lanes) * groupCycles
+	r.backEnd.WZero += int64(rows-ctx.nrows) * int64(wg) * int64(lanes) * groupCycles
 	r.activity.SerialLaneCycles += serial
-	if cfg.BackEnd == arch.TCLe {
-		r.activity.OffsetEncodes += int64(cols) * int64(lanes) * int64(W)
-	}
 	r.cycles = groupCycles
 	return r
 }
