@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench bench-sim bench-sched fuzz-sched fmt clean
+.PHONY: all build vet test race check serve-smoke bench bench-sim bench-sched fuzz-sched fmt clean
 
 all: check
 
@@ -20,6 +20,12 @@ race:
 # under the race detector (the parallel engine is on by default, so every
 # test doubles as a race test).
 check: build vet race
+
+# End-to-end smoke of the evaluation service: builds the real tclserve
+# binary, starts it on an ephemeral port, hits /healthz, /v1/simulate and
+# /metrics over TCP, then SIGTERMs it and requires a clean drain.
+serve-smoke:
+	TCL_SERVE_SMOKE=1 $(GO) test ./cmd/tclserve -run TestServeSmoke -v -timeout 5m
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$'

@@ -20,6 +20,8 @@
 package bittactical
 
 import (
+	"context"
+
 	"bittactical/internal/arch"
 	"bittactical/internal/experiments"
 	"bittactical/internal/nn"
@@ -111,6 +113,14 @@ func Simulate(cfg Config, m *Model, acts []*Tensor) (*Result, error) {
 // SimulateOpts is Simulate with explicit engine options.
 func SimulateOpts(cfg Config, m *Model, acts []*Tensor, opts SimOptions) (*Result, error) {
 	return sim.SimulateModelOpts(cfg, m, acts, opts)
+}
+
+// SimulateContext is SimulateOpts under a context: cancellation or a
+// deadline stops the engine's workers from claiming further work and
+// returns ctx.Err() with no partial result. An uncancelled context yields
+// output bit-identical to SimulateOpts.
+func SimulateContext(ctx context.Context, cfg Config, m *Model, acts []*Tensor, opts SimOptions) (*Result, error) {
+	return sim.SimulateModelContext(ctx, cfg, m, acts, opts)
 }
 
 // ---- experiments ----

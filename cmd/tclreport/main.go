@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"bittactical/internal/experiments"
+	"bittactical/internal/metrics"
 	"bittactical/internal/nn"
 	"bittactical/internal/profiling"
 )
@@ -31,6 +32,7 @@ func main() {
 		par     = flag.Int("j", 0, "worker parallelism (0 = GOMAXPROCS)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		mstats  = flag.Bool("metrics", false, "dump the engine metrics snapshot (JSON) after the run")
 	)
 	flag.Parse()
 
@@ -85,6 +87,12 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("wrote", *out)
+	if *mstats {
+		if err := metrics.Default.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tclreport:", err)
+			os.Exit(1)
+		}
+	}
 }
 
 func writeMarkdownTable(b *strings.Builder, t *experiments.Table) {

@@ -1,0 +1,458 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"bittactical/internal/arch"
+	"bittactical/internal/fixed"
+	"bittactical/internal/metrics"
+	"bittactical/internal/nn"
+	"bittactical/internal/sched"
+	"bittactical/internal/sim"
+)
+
+// maxBodyBytes bounds request bodies; every valid request is a small JSON
+// document.
+const maxBodyBytes = 1 << 20
+
+// server holds the evaluation service's shared state: the in-flight
+// semaphore that bounds concurrent sweeps (each one saturates the engine's
+// worker pool, so admitting more than a handful just queues them on the
+// scheduler) and the request-level instruments.
+type server struct {
+	sem            chan struct{}
+	defaultTimeout time.Duration
+	maxTimeout     time.Duration
+	parallelism    int
+
+	requests *metrics.Counter
+	rejected *metrics.Counter
+	failures *metrics.Counter
+	timeouts *metrics.Counter
+	inflight *metrics.Gauge
+	latency  *metrics.Histogram
+}
+
+func newServer(maxInFlight int, defaultTimeout, maxTimeout time.Duration, parallelism int) *server {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	return &server{
+		sem:            make(chan struct{}, maxInFlight),
+		defaultTimeout: defaultTimeout,
+		maxTimeout:     maxTimeout,
+		parallelism:    parallelism,
+		requests:       metrics.Default.Counter("serve_requests_total"),
+		rejected:       metrics.Default.Counter("serve_requests_rejected_total"),
+		failures:       metrics.Default.Counter("serve_requests_failed_total"),
+		timeouts:       metrics.Default.Counter("serve_requests_timeout_total"),
+		inflight:       metrics.Default.Gauge("serve_inflight_requests"),
+		latency:        metrics.Default.Histogram("serve_request_latency"),
+	}
+}
+
+// routes wires the service surface: the two evaluation endpoints behind the
+// in-flight limiter, plus the probes.
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("POST /v1/simulate", s.limited(s.handleSimulate))
+	mux.HandleFunc("POST /v1/schedule", s.limited(s.handleSchedule))
+	return mux
+}
+
+// limited applies the bounded in-flight semaphore (rejecting with 503 when
+// full rather than queueing — a sweep is seconds of CPU, and a deep queue
+// only converts overload into timeouts) and records request metrics.
+func (s *server) limited(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			s.rejected.Inc()
+			writeError(w, http.StatusServiceUnavailable, "server at capacity: too many in-flight requests")
+			return
+		}
+		defer func() { <-s.sem }()
+		s.inflight.Inc()
+		defer s.inflight.Dec()
+		s.requests.Inc()
+		start := time.Now()
+		h(w, r)
+		s.latency.Observe(time.Since(start))
+	}
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := metrics.Default.WriteJSON(w); err != nil {
+		// Headers are gone; nothing left to do but note the failure.
+		s.failures.Inc()
+	}
+}
+
+// requestContext derives the per-request deadline: the client's timeout_ms
+// when given, the server default otherwise, clamped to the server maximum.
+func (s *server) requestContext(r *http.Request, timeoutMs int64) (context.Context, context.CancelFunc) {
+	d := s.defaultTimeout
+	if timeoutMs > 0 {
+		d = time.Duration(timeoutMs) * time.Millisecond
+	}
+	if d > s.maxTimeout {
+		d = s.maxTimeout
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// configSpec names one accelerator configuration of the Table-2 family.
+type configSpec struct {
+	// Backend: "dense" (DaDianNao++ baseline), "front-end" (weight skipping
+	// with a bit-parallel back-end), "tclp", or "tcle".
+	Backend string `json:"backend"`
+	// Pattern is a connectivity pattern label (sched.KnownPatternNames);
+	// required for "front-end", optional for the serial back-ends (empty =
+	// no weight skipping, the Pragmatic/Dynamic-Stripes-like rows).
+	Pattern string `json:"pattern,omitempty"`
+	// Width is the datapath width: 16 (default) or 8.
+	Width int `json:"width,omitempty"`
+}
+
+func (c configSpec) build() (arch.Config, error) {
+	var p sched.Pattern
+	if c.Pattern != "" {
+		var err error
+		p, err = sched.ByName(c.Pattern)
+		if err != nil {
+			return arch.Config{}, err
+		}
+	}
+	var cfg arch.Config
+	switch strings.ToLower(c.Backend) {
+	case "dense", "dadiannao++", "dadiannao":
+		if c.Pattern != "" {
+			return arch.Config{}, fmt.Errorf("backend %q takes no pattern", c.Backend)
+		}
+		cfg = arch.DaDianNaoPP()
+	case "front-end", "frontend", "fe":
+		if c.Pattern == "" {
+			return arch.Config{}, fmt.Errorf("backend %q requires a pattern", c.Backend)
+		}
+		cfg = arch.FrontEndOnly(p)
+	case "tclp":
+		cfg = arch.NewTCL(p, arch.TCLp)
+	case "tcle":
+		cfg = arch.NewTCL(p, arch.TCLe)
+	default:
+		return arch.Config{}, fmt.Errorf("unknown backend %q (want dense, front-end, tclp, or tcle)", c.Backend)
+	}
+	switch c.Width {
+	case 0, 16:
+	case 8:
+		cfg = cfg.WithWidth(fixed.W8)
+	default:
+		return arch.Config{}, fmt.Errorf("unsupported width %d (want 8 or 16)", c.Width)
+	}
+	return cfg, nil
+}
+
+// defaultConfigs is the sweep run when a request names none: the dense
+// baseline and both serial back-ends under the paper's headline pattern.
+func defaultConfigs() []configSpec {
+	return []configSpec{
+		{Backend: "dense"},
+		{Backend: "tclp", Pattern: "T8<2,5>"},
+		{Backend: "tcle", Pattern: "T8<2,5>"},
+	}
+}
+
+// modelSpec is the shared model-selection part of both endpoints.
+type modelSpec struct {
+	Model        string  `json:"model"`
+	ChannelScale float64 `json:"channel_scale,omitempty"`
+	SpatialScale float64 `json:"spatial_scale,omitempty"`
+	Seed         int64   `json:"seed,omitempty"`
+	ActSeed      int64   `json:"act_seed,omitempty"`
+}
+
+func (ms modelSpec) build() (*nn.Model, int64, error) {
+	if ms.Model == "" {
+		return nil, 0, errors.New("missing model (want one of " + strings.Join(nn.ModelNames, ", ") + ")")
+	}
+	zoo := nn.DefaultZoo()
+	if ms.ChannelScale > 0 {
+		zoo.ChannelScale = ms.ChannelScale
+	}
+	if ms.SpatialScale > 0 {
+		zoo.SpatialScale = ms.SpatialScale
+	}
+	if ms.Seed != 0 {
+		zoo.Seed = ms.Seed
+	}
+	m, err := nn.BuildModel(ms.Model, zoo)
+	if err != nil {
+		return nil, 0, err
+	}
+	actSeed := ms.ActSeed
+	if actSeed == 0 {
+		actSeed = 7
+	}
+	return m, actSeed, nil
+}
+
+type simulateRequest struct {
+	modelSpec
+	Configs     []configSpec `json:"configs,omitempty"`
+	Parallelism int          `json:"parallelism,omitempty"`
+	TimeoutMs   int64        `json:"timeout_ms,omitempty"`
+}
+
+type layerResponse struct {
+	Name        string `json:"name"`
+	Cycles      int64  `json:"cycles"`
+	DenseCycles int64  `json:"dense_cycles"`
+	MACs        int64  `json:"macs"`
+}
+
+type configResponse struct {
+	Name        string          `json:"name"`
+	Cycles      int64           `json:"cycles"`
+	DenseCycles int64           `json:"dense_cycles"`
+	Speedup     float64         `json:"speedup"`
+	Layers      []layerResponse `json:"layers"`
+}
+
+type simulateResponse struct {
+	Model     string           `json:"model"`
+	Configs   []configResponse `json:"configs"`
+	ElapsedMs float64          `json:"elapsed_ms"`
+}
+
+func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req simulateRequest
+	if !decodeRequest(w, r, &req) {
+		s.failures.Inc()
+		return
+	}
+	m, actSeed, err := req.build()
+	if err != nil {
+		s.failures.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	specs := req.Configs
+	if len(specs) == 0 {
+		specs = defaultConfigs()
+	}
+	cfgs := make([]arch.Config, len(specs))
+	for i, spec := range specs {
+		if cfgs[i], err = spec.build(); err != nil {
+			s.failures.Inc()
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("configs[%d]: %v", i, err))
+			return
+		}
+	}
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	opts := sim.Options{Parallelism: s.parallelism}
+	if req.Parallelism > 0 {
+		opts.Parallelism = req.Parallelism
+	}
+	acts := m.GenerateActs(actSeed)
+	start := time.Now()
+	resp := simulateResponse{Model: m.Name}
+	for _, cfg := range cfgs {
+		res, err := sim.SimulateModelContext(ctx, cfg, m, acts, opts)
+		if err != nil {
+			s.writeEngineError(w, err)
+			return
+		}
+		cr := configResponse{
+			Name:        res.Config,
+			Cycles:      res.TotalCycles(),
+			DenseCycles: res.TotalDenseCycles(),
+			Speedup:     res.Speedup(),
+		}
+		for _, l := range res.Layers {
+			cr.Layers = append(cr.Layers, layerResponse{
+				Name: l.Name, Cycles: l.Cycles, DenseCycles: l.DenseCycles, MACs: l.MACs,
+			})
+		}
+		resp.Configs = append(resp.Configs, cr)
+	}
+	resp.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type scheduleRequest struct {
+	modelSpec
+	Pattern   string `json:"pattern"`
+	Algorithm string `json:"algorithm,omitempty"`
+	TimeoutMs int64  `json:"timeout_ms,omitempty"`
+}
+
+type scheduleLayerResponse struct {
+	Name       string  `json:"name"`
+	Filters    int     `json:"filters"`
+	DenseCols  int     `json:"dense_columns"`
+	Columns    int     `json:"columns"`
+	Compaction float64 `json:"compaction"`
+}
+
+type scheduleResponse struct {
+	Model      string                  `json:"model"`
+	Pattern    string                  `json:"pattern"`
+	Algorithm  string                  `json:"algorithm"`
+	Layers     []scheduleLayerResponse `json:"layers"`
+	DenseCols  int                     `json:"dense_columns"`
+	Columns    int                     `json:"columns"`
+	Compaction float64                 `json:"compaction"`
+	ElapsedMs  float64                 `json:"elapsed_ms"`
+}
+
+func algorithmByName(name string) (sched.Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "", "algorithm1", "alg1":
+		return sched.Algorithm1, nil
+	case "greedy":
+		return sched.GreedySimple, nil
+	case "matching":
+		return sched.Matching, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (want algorithm1, greedy, or matching)", name)
+}
+
+// handleSchedule runs the offline software front-end alone: every filter
+// group of the model scheduled under the pattern, reported as schedule
+// columns vs dense steps per layer — the compaction a deployment would bake
+// into its weight-scratchpad images.
+func (s *server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var req scheduleRequest
+	if !decodeRequest(w, r, &req) {
+		s.failures.Inc()
+		return
+	}
+	m, actSeed, err := req.build()
+	if err != nil {
+		s.failures.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Pattern == "" {
+		s.failures.Inc()
+		writeError(w, http.StatusBadRequest, "missing pattern (want one of "+strings.Join(sched.KnownPatternNames(), ", ")+")")
+		return
+	}
+	p, err := sched.ByName(req.Pattern)
+	if err != nil {
+		s.failures.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	alg, err := algorithmByName(req.Algorithm)
+	if err != nil {
+		s.failures.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	lws, err := m.Lowered(16, m.GenerateActs(actSeed))
+	if err != nil {
+		s.failures.Inc()
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	start := time.Now()
+	resp := scheduleResponse{Model: m.Name, Pattern: p.Name, Algorithm: alg.String()}
+	for _, lw := range lws {
+		pad := make([]bool, lw.Steps*lw.Lanes)
+		for st := 0; st < lw.Steps; st++ {
+			for ln := 0; ln < lw.Lanes; ln++ {
+				pad[st*lw.Lanes+ln] = lw.IsPad(st, ln)
+			}
+		}
+		lr := scheduleLayerResponse{Name: lw.Name, Filters: lw.Filters}
+		for f0 := 0; f0 < lw.Filters; f0 += 16 {
+			// Scheduling one group is milliseconds; the claim-grain check
+			// keeps a large model's sweep cancellable between groups.
+			if err := ctx.Err(); err != nil {
+				s.writeEngineError(w, err)
+				return
+			}
+			f1 := min(f0+16, lw.Filters)
+			group := make([]sched.Filter, f1-f0)
+			for i := range group {
+				group[i] = sched.NewFilter(lw.Lanes, lw.Steps, lw.FilterRow(f0+i), pad)
+			}
+			for _, sc := range sched.Shared.ScheduleGroup(group, p, alg) {
+				lr.Columns += sc.Len()
+				lr.DenseCols += lw.Steps
+			}
+		}
+		if lr.Columns > 0 {
+			lr.Compaction = float64(lr.DenseCols) / float64(lr.Columns)
+		}
+		resp.Layers = append(resp.Layers, lr)
+		resp.Columns += lr.Columns
+		resp.DenseCols += lr.DenseCols
+	}
+	if resp.Columns > 0 {
+		resp.Compaction = float64(resp.DenseCols) / float64(resp.Columns)
+	}
+	resp.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// writeEngineError maps a cancelled engine run to the response the client
+// can act on: 504 for an expired deadline, 408 for a request the client
+// itself abandoned.
+func (s *server) writeEngineError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Inc()
+		writeError(w, http.StatusGatewayTimeout, "simulation exceeded the request deadline")
+	case errors.Is(err, context.Canceled):
+		// The client disconnected; the status code is for the log only.
+		s.failures.Inc()
+		writeError(w, http.StatusRequestTimeout, "request cancelled")
+	default:
+		s.failures.Inc()
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+func decodeRequest(w http.ResponseWriter, r *http.Request, dst any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

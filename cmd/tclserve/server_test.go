@@ -1,0 +1,238 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func testServer(t *testing.T, maxInFlight int) *server {
+	t.Helper()
+	return newServer(maxInFlight, 30*time.Second, time.Minute, 2)
+}
+
+// smallBody keeps handler tests fast: a tiny zoo instantiation of the
+// smallest network.
+func smallBody(extra string) string {
+	body := `{"model":"AlexNet-ES","channel_scale":0.1,"spatial_scale":0.25`
+	if extra != "" {
+		body += "," + extra
+	}
+	return body + "}"
+}
+
+func postJSON(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+func getPath(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+func TestHealthz(t *testing.T) {
+	h := testServer(t, 2).routes()
+	rec := getPath(t, h, "/healthz")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", rec.Code)
+	}
+	var resp map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil || resp["status"] != "ok" {
+		t.Fatalf("/healthz body = %q (err %v), want status ok", rec.Body.String(), err)
+	}
+}
+
+func TestSimulateAndMetrics(t *testing.T) {
+	h := testServer(t, 2).routes()
+	rec := postJSON(t, h, "/v1/simulate",
+		smallBody(`"configs":[{"backend":"dense"},{"backend":"tcle","pattern":"T8<2,5>"}]`))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/simulate = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp simulateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Configs) != 2 {
+		t.Fatalf("got %d configs, want 2", len(resp.Configs))
+	}
+	dense, tcle := resp.Configs[0], resp.Configs[1]
+	if dense.Cycles == 0 || tcle.Cycles == 0 || len(tcle.Layers) == 0 {
+		t.Fatalf("empty simulation result: %+v", resp)
+	}
+	if dense.Cycles != dense.DenseCycles {
+		t.Errorf("dense baseline cycles %d != its own dense reference %d", dense.Cycles, dense.DenseCycles)
+	}
+	if tcle.Speedup <= 1 {
+		t.Errorf("TCLe speedup = %.2f, want > 1 on a sparse model", tcle.Speedup)
+	}
+
+	// The acceptance gate: after a successful request, /metrics reports
+	// nonzero cache and pool counters.
+	mrec := getPath(t, h, "/metrics")
+	if mrec.Code != http.StatusOK {
+		t.Fatalf("/metrics = %d", mrec.Code)
+	}
+	var snap map[string]json.RawMessage
+	if err := json.Unmarshal(mrec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/metrics is not JSON: %v", err)
+	}
+	mustNonzero := func(name string) {
+		t.Helper()
+		var v int64
+		if err := json.Unmarshal(snap[name], &v); err != nil {
+			t.Fatalf("metric %s = %s: %v", name, snap[name], err)
+		}
+		if v == 0 {
+			t.Errorf("metric %s is zero after a successful simulate", name)
+		}
+	}
+	mustNonzero("sched_cache_misses")
+	mustNonzero("sim_pool_items_total")
+	mustNonzero("serve_requests_total")
+	var lat struct {
+		Count int64 `json:"count"`
+	}
+	if err := json.Unmarshal(snap["sim_layer_latency"], &lat); err != nil || lat.Count == 0 {
+		t.Errorf("sim_layer_latency count = %d (err %v), want nonzero", lat.Count, err)
+	}
+}
+
+func TestSimulateDefaultsConfigs(t *testing.T) {
+	h := testServer(t, 2).routes()
+	rec := postJSON(t, h, "/v1/simulate", smallBody(""))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/simulate = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp simulateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Configs) != len(defaultConfigs()) {
+		t.Fatalf("default sweep ran %d configs, want %d", len(resp.Configs), len(defaultConfigs()))
+	}
+}
+
+// TestSimulateDeadline pins the acceptance criterion: a request with a
+// too-short deadline fails with a timeout status, promptly, without leaking
+// engine goroutines.
+func TestSimulateDeadline(t *testing.T) {
+	h := testServer(t, 2).routes()
+	before := runtime.NumGoroutine()
+	start := time.Now()
+	rec := postJSON(t, h, "/v1/simulate",
+		`{"model":"AlexNet-ES","channel_scale":0.3,"spatial_scale":0.4,"timeout_ms":1}`)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("short-deadline simulate = %d: %s", rec.Code, rec.Body.String())
+	}
+	if !strings.Contains(rec.Body.String(), "deadline") {
+		t.Errorf("timeout body lacks a deadline message: %s", rec.Body.String())
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("timed-out request took %v, want prompt return", elapsed)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutine leak after timeout: %d before, %d after", before, after)
+	}
+}
+
+func TestSimulateBadRequests(t *testing.T) {
+	h := testServer(t, 2).routes()
+	cases := []struct {
+		name, body string
+	}{
+		{"unknown model", `{"model":"NotANet"}`},
+		{"missing model", `{}`},
+		{"unknown backend", smallBody(`"configs":[{"backend":"warp"}]`)},
+		{"unknown pattern", smallBody(`"configs":[{"backend":"tcle","pattern":"Z9<9,9>"}]`)},
+		{"front-end without pattern", smallBody(`"configs":[{"backend":"front-end"}]`)},
+		{"bad width", smallBody(`"configs":[{"backend":"tcle","pattern":"T8<2,5>","width":12}]`)},
+		{"unknown field", `{"model":"AlexNet-ES","wat":1}`},
+		{"malformed json", `{"model":`},
+	}
+	for _, c := range cases {
+		if rec := postJSON(t, h, "/v1/simulate", c.body); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400 (%s)", c.name, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+func TestSimulateRejectsWhenSaturated(t *testing.T) {
+	s := testServer(t, 1)
+	h := s.routes()
+	// Occupy the single in-flight slot, then observe the 503.
+	s.sem <- struct{}{}
+	rec := postJSON(t, h, "/v1/simulate", smallBody(""))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("saturated simulate = %d, want 503", rec.Code)
+	}
+	<-s.sem
+	// With the slot free the same request succeeds.
+	if rec := postJSON(t, h, "/v1/simulate", smallBody(`"configs":[{"backend":"dense"}]`)); rec.Code != http.StatusOK {
+		t.Fatalf("post-drain simulate = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestScheduleEndpoint(t *testing.T) {
+	h := testServer(t, 2).routes()
+	rec := postJSON(t, h, "/v1/schedule", smallBody(`"pattern":"T8<2,5>"`))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/schedule = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp scheduleResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Layers) == 0 || resp.Columns == 0 || resp.DenseCols == 0 {
+		t.Fatalf("empty schedule response: %+v", resp)
+	}
+	if resp.Compaction <= 1 {
+		t.Errorf("compaction = %.2f, want > 1 on a pruned model", resp.Compaction)
+	}
+	if resp.Algorithm != "algorithm1" {
+		t.Errorf("default algorithm = %q, want algorithm1", resp.Algorithm)
+	}
+
+	if rec := postJSON(t, h, "/v1/schedule", smallBody("")); rec.Code != http.StatusBadRequest {
+		t.Errorf("missing pattern: status = %d, want 400", rec.Code)
+	}
+	if rec := postJSON(t, h, "/v1/schedule", smallBody(`"pattern":"T8<2,5>","algorithm":"psychic"`)); rec.Code != http.StatusBadRequest {
+		t.Errorf("bad algorithm: status = %d, want 400", rec.Code)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	h := testServer(t, 2).routes()
+	if rec := getPath(t, h, "/v1/simulate"); rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/simulate = %d, want 405", rec.Code)
+	}
+	rec := postJSON(t, h, "/healthz", "{}")
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /healthz = %d, want 405", rec.Code)
+	}
+}
+
+// TestBodyTooLarge guards the request-size bound.
+func TestBodyTooLarge(t *testing.T) {
+	h := testServer(t, 2).routes()
+	big := `{"model":"` + strings.Repeat("x", maxBodyBytes) + `"}`
+	rec := postJSON(t, h, "/v1/simulate", big)
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("oversized body = %d, want 400", rec.Code)
+	}
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke builds the real tclserve binary, starts it on an ephemeral
+// port, exercises /healthz, /v1/simulate, and /metrics over real TCP, then
+// SIGTERMs it and requires a clean drain. Gated behind TCL_SERVE_SMOKE=1
+// (run via `make serve-smoke`) so ordinary `go test ./...` stays hermetic.
+func TestServeSmoke(t *testing.T) {
+	if os.Getenv("TCL_SERVE_SMOKE") != "1" {
+		t.Skip("set TCL_SERVE_SMOKE=1 (or run `make serve-smoke`) to exercise the real binary")
+	}
+
+	bin := filepath.Join(t.TempDir(), "tclserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-drain", "5s")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The server logs its resolved address; everything after that line is
+	// drained in the background so the child never blocks on a full pipe.
+	sc := bufio.NewScanner(stderr)
+	var baseURL string
+	for sc.Scan() {
+		line := sc.Text()
+		t.Logf("tclserve: %s", line)
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			baseURL = "http://" + strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	if baseURL == "" {
+		t.Fatalf("server exited without logging its address (scan err: %v)", sc.Err())
+	}
+	logRest := make(chan struct{})
+	go func() {
+		defer close(logRest)
+		for sc.Scan() {
+			t.Logf("tclserve: %s", sc.Text())
+		}
+	}()
+
+	get := func(path string) (*http.Response, error) { return http.Get(baseURL + path) }
+
+	// Liveness.
+	resp, err := get("/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz = %d", resp.StatusCode)
+	}
+
+	// One real simulation.
+	body := `{"model":"AlexNet-ES","channel_scale":0.1,"spatial_scale":0.25,"configs":[{"backend":"tcle","pattern":"T8<2,5>"}]}`
+	sresp, err := http.Post(baseURL+"/v1/simulate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/simulate: %v", err)
+	}
+	var sim simulateResponse
+	err = json.NewDecoder(sresp.Body).Decode(&sim)
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusOK || err != nil {
+		t.Fatalf("POST /v1/simulate = %d (decode err %v)", sresp.StatusCode, err)
+	}
+	if len(sim.Configs) != 1 || sim.Configs[0].Cycles == 0 {
+		t.Fatalf("empty simulate response: %+v", sim)
+	}
+	fmt.Printf("smoke: %s %s: %d cycles, speedup %.2f\n",
+		sim.Model, sim.Configs[0].Name, sim.Configs[0].Cycles, sim.Configs[0].Speedup)
+
+	// Metrics must show engine activity.
+	mresp, err := get("/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	var snap map[string]json.RawMessage
+	err = json.NewDecoder(mresp.Body).Decode(&snap)
+	mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK || err != nil {
+		t.Fatalf("GET /metrics = %d (decode err %v)", mresp.StatusCode, err)
+	}
+	for _, name := range []string{"serve_requests_total", "sim_pool_items_total", "sched_cache_misses"} {
+		var v int64
+		if err := json.Unmarshal(snap[name], &v); err != nil || v == 0 {
+			t.Errorf("metric %s = %s (err %v), want nonzero", name, snap[name], err)
+		}
+	}
+
+	// Graceful shutdown: SIGTERM must drain and exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("tclserve exited uncleanly after SIGTERM: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("tclserve did not exit within 15s of SIGTERM")
+	}
+	<-logRest
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"bittactical/internal/experiments"
+	"bittactical/internal/metrics"
 	"bittactical/internal/nn"
 	"bittactical/internal/profiling"
 	"bittactical/internal/sched"
@@ -38,6 +39,7 @@ func main() {
 		par     = flag.Int("j", 0, "worker parallelism (0 = GOMAXPROCS)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		sstats  = flag.Bool("schedstats", false, "print schedule-cache hit/miss stats on exit")
+		mstats  = flag.Bool("metrics", false, "dump the engine metrics snapshot (JSON) after the run")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -95,27 +97,44 @@ func main() {
 		}
 	}
 	if *sstats {
-		hits, misses, entries := sched.Shared.Stats()
-		total := hits + misses
+		st := sched.Shared.Stats()
+		total := st.Hits + st.Misses
 		var rate float64
 		if total > 0 {
-			rate = 100 * float64(hits) / float64(total)
+			rate = 100 * float64(st.Hits) / float64(total)
 		}
-		fmt.Printf("schedule cache: %d hits / %d misses (%.1f%% hit rate), %d resident entries\n",
-			hits, misses, rate, entries)
+		fmt.Printf("schedule cache: %d hits / %d misses (%.1f%% hit rate), %d evictions, %d resident entries\n",
+			st.Hits, st.Misses, rate, st.Evictions, st.Entries)
+	}
+	if *mstats {
+		if err := metrics.Default.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tclsim:", err)
+			os.Exit(1)
+		}
 	}
 }
 
-// writeCSV stores the table as <dir>/<id>.csv for plotting.
-func writeCSV(dir string, tab *experiments.Table) error {
+// writeCSV stores the table as <dir>/<id>.csv for plotting. Flush and Close
+// errors are the ones a full disk actually surfaces — the buffered writes
+// almost always succeed — so both are checked and the file is removed
+// rather than left truncated.
+func writeCSV(dir string, tab *experiments.Table) (err error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(dir, tab.ID+".csv"))
+	path := filepath.Join(dir, tab.ID+".csv")
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			os.Remove(path)
+		}
+	}()
 	w := csv.NewWriter(f)
 	if err := w.Write(tab.Header); err != nil {
 		return err

@@ -39,9 +39,14 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			if err != nil {
 				return err
 			}
-			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("profiling: heap profile: %w", err)
+			}
+			// A full disk surfaces at Close, not WriteHeapProfile; an
+			// unchecked error here would silently truncate the profile.
+			if err := f.Close(); err != nil {
 				return fmt.Errorf("profiling: heap profile: %w", err)
 			}
 		}

@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+
+	"bittactical/internal/metrics"
 )
 
 // Cache memoizes ScheduleGroup results. A schedule depends only on the
@@ -18,11 +20,12 @@ import (
 // only the weight values (buildColumn consults Filter.W alone), so groups
 // that differ only in padding share an entry.
 type Cache struct {
-	mu       sync.RWMutex
-	m        map[groupKey][]*Schedule
-	capacity int
-	hits     atomic.Int64
-	misses   atomic.Int64
+	mu        sync.RWMutex
+	m         map[groupKey][]*Schedule
+	capacity  int
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
 }
 
 // groupKey identifies one (filter group, pattern, algorithm) triple. Two
@@ -51,6 +54,12 @@ func NewCache(capacity int) *Cache {
 
 // Shared is the process-wide schedule cache the simulator uses by default.
 var Shared = NewCache(0)
+
+func init() {
+	// The shared cache is the one an operator of a long-running service
+	// cares about; expose its lifetime counters in the default registry.
+	Shared.RegisterMetrics(metrics.Default, "sched_cache")
+}
 
 const (
 	fnvOffset = 14695981039346656037
@@ -126,6 +135,7 @@ func (c *Cache) ScheduleGroup(filters []Filter, p Pattern, alg Algorithm) []*Sch
 	c.misses.Add(1)
 	c.mu.Lock()
 	if len(c.m) >= c.capacity {
+		c.evictions.Add(int64(len(c.m)))
 		c.m = make(map[groupKey][]*Schedule)
 	}
 	c.m[key] = ss
@@ -133,19 +143,50 @@ func (c *Cache) ScheduleGroup(filters []Filter, p Pattern, alg Algorithm) []*Sch
 	return ss
 }
 
-// Stats reports lifetime hit/miss counters and the current entry count.
-func (c *Cache) Stats() (hits, misses int64, entries int) {
+// CacheStats is a cache's lifetime counters and current residency.
+// Evictions counts individual entries dropped by the overflow policy, so a
+// full-map drop of k entries records k evictions.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+}
+
+// Stats reports lifetime hit/miss/eviction counters and the current entry
+// count.
+func (c *Cache) Stats() CacheStats {
 	c.mu.RLock()
 	n := len(c.m)
 	c.mu.RUnlock()
-	return c.hits.Load(), c.misses.Load(), n
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   n,
+	}
 }
 
-// Reset drops every entry and zeroes the counters.
+// RegisterMetrics exposes the cache's counters in the registry as
+// <prefix>_{hits,misses,evictions,entries}, read live at snapshot time.
+func (c *Cache) RegisterMetrics(r *metrics.Registry, prefix string) {
+	r.Func(prefix+"_hits", c.hits.Load)
+	r.Func(prefix+"_misses", c.misses.Load)
+	r.Func(prefix+"_evictions", c.evictions.Load)
+	r.Func(prefix+"_entries", func() int64 {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		return int64(len(c.m))
+	})
+}
+
+// Reset drops every entry and zeroes the counters. The dropped entries are
+// deliberate, not capacity pressure, so they do not count as evictions.
 func (c *Cache) Reset() {
 	c.mu.Lock()
 	c.m = make(map[groupKey][]*Schedule)
 	c.mu.Unlock()
 	c.hits.Store(0)
 	c.misses.Store(0)
+	c.evictions.Store(0)
 }

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"bittactical/internal/metrics"
 	"bittactical/internal/sparsity"
 )
 
@@ -34,8 +35,8 @@ func TestCacheHitReturnsIdenticalSchedules(t *testing.T) {
 			t.Fatalf("filter %d: hit returned a new schedule instead of the cached pointer", i)
 		}
 	}
-	if hits, misses, entries := c.Stats(); hits != 1 || misses != 1 || entries != 1 {
-		t.Fatalf("stats = (%d, %d, %d), want (1, 1, 1)", hits, misses, entries)
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = (%d, %d, %d), want (1, 1, 1)", st.Hits, st.Misses, st.Entries)
 	}
 }
 
@@ -49,8 +50,8 @@ func TestCacheKeyDiscriminates(t *testing.T) {
 	c.ScheduleGroup(group, L(2, 5), Algorithm1)
 	c.ScheduleGroup(group, T(2, 5), GreedySimple)
 	c.ScheduleGroup(cacheTestGroup(5, 12, 8, 0.6, nil), T(2, 5), Algorithm1)
-	if hits, misses, _ := c.Stats(); hits != 0 || misses != 4 {
-		t.Fatalf("stats = (%d hits, %d misses), want (0, 4)", hits, misses)
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 4 {
+		t.Fatalf("stats = (%d hits, %d misses), want (0, 4)", st.Hits, st.Misses)
 	}
 }
 
@@ -68,8 +69,8 @@ func TestCachePadIndependent(t *testing.T) {
 
 	a := c.ScheduleGroup(plain, T(2, 5), Algorithm1)
 	b := c.ScheduleGroup(padded, T(2, 5), Algorithm1)
-	if hits, misses, _ := c.Stats(); hits != 1 || misses != 1 {
-		t.Fatalf("stats = (%d hits, %d misses), want pad-only difference to hit", hits, misses)
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = (%d hits, %d misses), want pad-only difference to hit", st.Hits, st.Misses)
 	}
 	for i := range a {
 		if a[i] != b[i] {
@@ -84,12 +85,12 @@ func TestCacheReset(t *testing.T) {
 	c.ScheduleGroup(group, T(2, 5), Algorithm1)
 	c.ScheduleGroup(group, T(2, 5), Algorithm1)
 	c.Reset()
-	if hits, misses, entries := c.Stats(); hits != 0 || misses != 0 || entries != 0 {
-		t.Fatalf("after Reset: stats = (%d, %d, %d), want zeros", hits, misses, entries)
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("after Reset: stats = %+v, want zeros", st)
 	}
 	c.ScheduleGroup(group, T(2, 5), Algorithm1)
-	if hits, misses, _ := c.Stats(); hits != 0 || misses != 1 {
-		t.Fatalf("after Reset: stats = (%d hits, %d misses), want a cold miss", hits, misses)
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 1 {
+		t.Fatalf("after Reset: stats = (%d hits, %d misses), want a cold miss", st.Hits, st.Misses)
 	}
 }
 
@@ -100,12 +101,82 @@ func TestCacheCapacityClears(t *testing.T) {
 	for seed := int64(0); seed < 10; seed++ {
 		c.ScheduleGroup(cacheTestGroup(100+seed, 6, 4, 0.5, nil), T(2, 5), Algorithm1)
 	}
-	_, misses, entries := c.Stats()
-	if misses != 10 {
-		t.Fatalf("misses = %d, want 10 distinct groups", misses)
+	st := c.Stats()
+	if st.Misses != 10 {
+		t.Fatalf("misses = %d, want 10 distinct groups", st.Misses)
 	}
-	if entries > 4 {
-		t.Fatalf("entries = %d, exceeds capacity 4", entries)
+	if st.Entries > 4 {
+		t.Fatalf("entries = %d, exceeds capacity 4", st.Entries)
+	}
+	// Ten distinct groups through a 4-entry cache force at least one
+	// full-map drop, and every dropped entry must be recorded.
+	if st.Evictions == 0 {
+		t.Fatal("overflow recorded no evictions")
+	}
+	if st.Evictions+int64(st.Entries) != st.Misses {
+		t.Fatalf("evictions %d + resident %d != inserted %d: dropped entries went unrecorded",
+			st.Evictions, st.Entries, st.Misses)
+	}
+}
+
+// TestCacheCapacityOneChurn is the overflow-policy regression test: a
+// capacity-1 cache evicts on essentially every insert, and it must keep
+// returning schedules identical to the uncached path — eviction may cost
+// recomputation, never correctness.
+func TestCacheCapacityOneChurn(t *testing.T) {
+	c := NewCache(1)
+	p := T(2, 5)
+	groups := make([][]Filter, 4)
+	for i := range groups {
+		groups[i] = cacheTestGroup(300+int64(i), 10, 8, 0.6, nil)
+	}
+	for round := 0; round < 3; round++ {
+		for i, g := range groups {
+			got := c.ScheduleGroup(g, p, Algorithm1)
+			want := ScheduleGroup(g, p, Algorithm1)
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("round %d group %d: churned cache returned a wrong schedule", round, i)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Entries > 1 {
+		t.Fatalf("entries = %d, exceeds capacity 1", st.Entries)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("capacity-1 churn recorded no evictions")
+	}
+	if st.Evictions+int64(st.Entries) != st.Misses {
+		t.Fatalf("evictions %d + resident %d != inserted %d",
+			st.Evictions, st.Entries, st.Misses)
+	}
+}
+
+// TestCacheRegisterMetrics checks the registry view tracks the live
+// counters.
+func TestCacheRegisterMetrics(t *testing.T) {
+	c := NewCache(1)
+	r := metrics.NewRegistry()
+	c.RegisterMetrics(r, "cache")
+	group := cacheTestGroup(400, 10, 8, 0.6, nil)
+	c.ScheduleGroup(group, T(2, 5), Algorithm1)
+	c.ScheduleGroup(group, T(2, 5), Algorithm1)
+	c.ScheduleGroup(cacheTestGroup(401, 10, 8, 0.6, nil), T(2, 5), Algorithm1)
+	snap := r.Snapshot()
+	st := c.Stats()
+	want := map[string]int64{
+		"cache_hits":      st.Hits,
+		"cache_misses":    st.Misses,
+		"cache_evictions": st.Evictions,
+		"cache_entries":   int64(st.Entries),
+	}
+	for name, v := range want {
+		if snap[name].(int64) != v {
+			t.Errorf("%s = %v, want %d", name, snap[name], v)
+		}
+	}
+	if st.Hits != 1 || st.Misses != 2 || st.Evictions != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 2 misses, 1 eviction", st)
 	}
 }
 

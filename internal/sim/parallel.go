@@ -1,10 +1,13 @@
 package sim
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
+	"bittactical/internal/metrics"
 	"bittactical/internal/sched"
 )
 
@@ -42,25 +45,50 @@ func (o Options) cache() *sched.Cache {
 	return sched.Shared
 }
 
+// Pool occupancy and throughput, exported process-wide: the busy-worker
+// gauge (with its high-water mark) shows how full the pool runs, the item
+// counter its lifetime throughput.
+var (
+	poolBusy  = metrics.Default.Gauge("sim_pool_busy_workers")
+	poolItems = metrics.Default.Counter("sim_pool_items_total")
+)
+
 // runPool executes fn(0..n-1) on up to `workers` goroutines. Items live in
 // a single shared queue and idle workers steal the next unclaimed index, so
 // a slow filter group (large layer, dense weights) never idles the rest of
-// the pool behind a static partition. Worker panics are re-raised on the
-// caller's goroutine to preserve the engine's synchronous panic contract.
-func runPool(workers, n int, fn func(i int)) {
+// the pool behind a static partition.
+//
+// The done channel (a context's Done, or nil for run-to-completion) is
+// checked before every claim: once it closes, no worker claims another item
+// and runPool returns false. Items already claimed run to completion, so a
+// cancelled pool leaves no goroutines behind — the WaitGroup drains as each
+// worker finishes its current item.
+//
+// A worker panic poisons the queue the same way: every worker stops
+// claiming at its next iteration instead of draining the remaining items,
+// and the first panic is re-raised on the caller's goroutine as a
+// *WorkerPanic carrying the original value and the worker's stack (the
+// runtime traceback of the re-raise shows only the caller's stack).
+func runPool(done <-chan struct{}, workers, n int, fn func(i int)) (completed bool) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 || n <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			select {
+			case <-done:
+				return false
+			default:
+			}
+			runItem(fn, i)
 		}
-		return
+		return true
 	}
 	var (
 		next     atomic.Int64
 		wg       sync.WaitGroup
-		panicked atomic.Pointer[panicBox]
+		panicked atomic.Pointer[WorkerPanic]
+		poisoned atomic.Bool
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -68,22 +96,64 @@ func runPool(workers, n int, fn func(i int)) {
 			defer wg.Done()
 			defer func() {
 				if r := recover(); r != nil {
-					panicked.CompareAndSwap(nil, &panicBox{val: r})
+					panicked.CompareAndSwap(nil, &WorkerPanic{Value: r, Stack: debug.Stack()})
+					poisoned.Store(true)
 				}
 			}()
-			for {
+			for !poisoned.Load() {
+				select {
+				case <-done:
+					return
+				default:
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				runItem(fn, i)
 			}
 		}()
 	}
 	wg.Wait()
 	if p := panicked.Load(); p != nil {
-		panic(p.val)
+		panic(p)
+	}
+	select {
+	case <-done:
+		return false
+	default:
+		return int(next.Load()) >= n
 	}
 }
 
-type panicBox struct{ val any }
+// runItem tracks pool occupancy around one work item; the deferred Dec
+// keeps the gauge balanced even when fn panics.
+func runItem(fn func(i int), i int) {
+	poolBusy.Inc()
+	defer poolBusy.Dec()
+	fn(i)
+	poolItems.Inc()
+}
+
+// WorkerPanic is the value runPool re-raises after a worker panic: the
+// original panic value plus the worker goroutine's stack at recover time.
+// It implements error (and Unwrap, when the original value was an error) so
+// recovering callers can still match the underlying cause.
+type WorkerPanic struct {
+	Value any
+	Stack []byte
+}
+
+func (p *WorkerPanic) Error() string {
+	return fmt.Sprintf("sim: worker panic: %v\n\nworker stack:\n%s", p.Value, p.Stack)
+}
+
+func (p *WorkerPanic) String() string { return p.Error() }
+
+// Unwrap exposes the original panic value when it was an error.
+func (p *WorkerPanic) Unwrap() error {
+	if err, ok := p.Value.(error); ok {
+		return err
+	}
+	return nil
+}

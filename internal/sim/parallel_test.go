@@ -75,17 +75,17 @@ func TestScheduleCacheSharedAcrossBackEnds(t *testing.T) {
 	lw := testConv(t, 11, 40, 24, 3, 3, 6, 0.6, 0.4)
 	cache := sched.NewCache(0)
 	p := SimulateLayerOpts(arch.NewTCL(sched.T(2, 5), arch.TCLp), lw, Options{Cache: cache})
-	hits, misses, _ := cache.Stats()
-	if hits != 0 || misses == 0 {
-		t.Fatalf("first run: hits=%d misses=%d, want cold misses only", hits, misses)
+	st := cache.Stats()
+	if st.Hits != 0 || st.Misses == 0 {
+		t.Fatalf("first run: hits=%d misses=%d, want cold misses only", st.Hits, st.Misses)
 	}
 	e := SimulateLayerOpts(arch.NewTCL(sched.T(2, 5), arch.TCLe), lw, Options{Cache: cache})
-	hits2, misses2, _ := cache.Stats()
-	if misses2 != misses {
-		t.Errorf("TCLe re-scheduled %d groups the TCLp run already cached", misses2-misses)
+	st2 := cache.Stats()
+	if st2.Misses != st.Misses {
+		t.Errorf("TCLe re-scheduled %d groups the TCLp run already cached", st2.Misses-st.Misses)
 	}
-	if hits2 != misses {
-		t.Errorf("TCLe hit %d cached groups, want all %d", hits2, misses)
+	if st2.Hits != st.Misses {
+		t.Errorf("TCLe hit %d cached groups, want all %d", st2.Hits, st.Misses)
 	}
 	// Front-end results are back-end independent; the shared schedules must
 	// reproduce the same slot census.

@@ -1,15 +1,23 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bittactical/internal/arch"
+	"bittactical/internal/metrics"
 	"bittactical/internal/nn"
 	"bittactical/internal/sched"
 	"bittactical/internal/tensor"
 )
+
+// layerLatency records, per layer, the wall time from the first work item
+// of that layer starting to its last filter group finishing — the quantity
+// an operator of the evaluation service watches per request.
+var layerLatency = metrics.Default.Histogram("sim_layer_latency")
 
 // SimulateModel runs every layer of a model under the configuration with
 // default engine options (GOMAXPROCS workers, shared schedule cache).
@@ -21,6 +29,18 @@ func SimulateModel(cfg arch.Config, m *nn.Model, acts []*tensor.T) (*Result, err
 // decomposed into independent (layer, filter-group) work items executed by
 // the option's worker pool. Output is bit-identical at any Parallelism.
 func SimulateModelOpts(cfg arch.Config, m *nn.Model, acts []*tensor.T, opts Options) (*Result, error) {
+	return SimulateModelContext(context.Background(), cfg, m, acts, opts)
+}
+
+// SimulateModelContext is SimulateModelOpts under a context: when ctx is
+// cancelled or its deadline passes, workers stop claiming (group,
+// window-chunk) items — in-flight items finish first — and the call returns
+// (nil, ctx.Err()) with no partial result. An uncancelled context yields
+// output bit-identical to SimulateModelOpts.
+func SimulateModelContext(ctx context.Context, cfg arch.Config, m *nn.Model, acts []*tensor.T, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -28,9 +48,11 @@ func SimulateModelOpts(cfg arch.Config, m *nn.Model, acts []*tensor.T, opts Opti
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Config: cfg.Name}
-	res.Layers = simulateLayers(cfg, lws, opts)
-	return res, nil
+	layers, err := simulateLayers(ctx, cfg, lws, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Config: cfg.Name, Layers: layers}, nil
 }
 
 // SimulateLayer runs one lowered layer with default engine options.
@@ -47,7 +69,22 @@ func SimulateLayer(cfg arch.Config, lw *nn.Lowered) LayerResult {
 // SimulateLayerOpts runs one lowered layer under the configuration and
 // returns cycles, the Figure-9 censuses, and datapath activity.
 func SimulateLayerOpts(cfg arch.Config, lw *nn.Lowered, opts Options) LayerResult {
-	return simulateLayers(cfg, []*nn.Lowered{lw}, opts)[0]
+	rs, err := simulateLayers(context.Background(), cfg, []*nn.Lowered{lw}, opts)
+	if err != nil {
+		// Unreachable: the background context never cancels.
+		panic(err)
+	}
+	return rs[0]
+}
+
+// SimulateLayerContext is SimulateLayerOpts with the cancellation semantics
+// of SimulateModelContext.
+func SimulateLayerContext(ctx context.Context, cfg arch.Config, lw *nn.Lowered, opts Options) (LayerResult, error) {
+	rs, err := simulateLayers(ctx, cfg, []*nn.Lowered{lw}, opts)
+	if err != nil {
+		return LayerResult{}, err
+	}
+	return rs[0], nil
 }
 
 // workItem is one unit of pool work: one window chunk [w0, w1) of one
@@ -84,8 +121,9 @@ type groupAccum struct {
 // (splitting groups into window chunks when groups alone cannot fill the
 // pool), executes the chunks on the option's pool, and merges the shards in
 // (layer, group) order so the result does not depend on execution
-// interleaving.
-func simulateLayers(cfg arch.Config, lws []*nn.Lowered, opts Options) []LayerResult {
+// interleaving. A cancelled ctx stops the pool from claiming further chunks
+// and returns (nil, ctx.Err()) — never a partial merge.
+func simulateLayers(ctx context.Context, cfg arch.Config, lws []*nn.Lowered, opts Options) ([]LayerResult, error) {
 	for _, lw := range lws {
 		if lw.Lanes != cfg.Lanes {
 			panic(fmt.Sprintf("sim: lowered lanes %d != config lanes %d", lw.Lanes, cfg.Lanes))
@@ -110,11 +148,17 @@ func simulateLayers(cfg arch.Config, lws []*nn.Lowered, opts Options) []LayerRes
 
 	pads := make([][]bool, len(lws))
 	accums := make([][]groupAccum, len(lws))
+	// Per-layer latency tracking: first-touch timestamp (CAS once) and a
+	// countdown of unfinished groups; the worker finishing a layer's last
+	// group observes the span.
+	layerStart := make([]atomic.Int64, len(lws))
+	layerRemaining := make([]atomic.Int32, len(lws))
 	var items []workItem
 	for li, lw := range lws {
 		pads[li] = padMask(lw)
 		denseGroups := (lw.Filters + rows - 1) / rows
 		accums[li] = make([]groupAccum, denseGroups)
+		layerRemaining[li].Store(int32(denseGroups))
 		// Chunks are aligned to the tile's window-group size so each chunk
 		// sees whole window groups (the unit the PE-total accumulation and
 		// the row-invariant cost grid are indexed by).
@@ -142,9 +186,12 @@ func simulateLayers(cfg arch.Config, lws []*nn.Lowered, opts Options) []LayerRes
 			}
 		}
 	}
-	runPool(workers, len(items), func(i int) {
+	completed := runPool(ctx.Done(), workers, len(items), func(i int) {
 		it := items[i]
 		lw := lws[it.layer]
+		if layerStart[it.layer].Load() == 0 {
+			layerStart[it.layer].CompareAndSwap(0, time.Now().UnixNano())
+		}
 		ga := &accums[it.layer][it.group]
 		ga.once.Do(func() {
 			ga.ctx = prepareGroup(cfg, lw, ct, pads[it.layer], it.f0, it.f1, cache)
@@ -157,8 +204,18 @@ func simulateLayers(cfg arch.Config, lws []*nn.Lowered, opts Options) []LayerRes
 		if ga.remaining.Add(-1) == 0 {
 			ga.result = finishGroup(cfg, ga.ctx, ga.partials)
 			ga.ctx = nil
+			if layerRemaining[it.layer].Add(-1) == 0 {
+				layerLatency.Observe(time.Duration(time.Now().UnixNano() - layerStart[it.layer].Load()))
+			}
 		}
 	})
+	if !completed {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Unreachable: the pool only stops early when ctx is done.
+		return nil, context.Canceled
+	}
 	out := make([]LayerResult, len(lws))
 	for li, lw := range lws {
 		outcomes := make([]groupResult, len(accums[li]))
@@ -167,7 +224,7 @@ func simulateLayers(cfg arch.Config, lws []*nn.Lowered, opts Options) []LayerRes
 		}
 		out[li] = mergeLayer(cfg, lw, outcomes)
 	}
-	return out
+	return out, nil
 }
 
 // mergeLayer folds the per-group shards into one LayerResult, in group
@@ -529,11 +586,21 @@ func finishGroup(cfg arch.Config, ctx *groupCtx, partials []windowPartial) group
 	return r
 }
 
+// ceilDiv64 is ceil(a/b) for non-negative a. A non-positive divisor can
+// only come from a misconfigured architecture parameter (e.g. a hand-built
+// Config with PsumRegsPerPE = 0); returning a quietly would dress the
+// misconfiguration up as a plausible cycle count, so it panics instead. The
+// quotient-plus-remainder form cannot overflow for any a, unlike
+// (a+b-1)/b.
 func ceilDiv64(a, b int64) int64 {
 	if b <= 0 {
-		return a
+		panic(fmt.Sprintf("sim: ceilDiv64: non-positive divisor %d (misconfigured arch parameter?)", b))
 	}
-	return (a + b - 1) / b
+	q := a / b
+	if a%b != 0 {
+		q++
+	}
+	return q
 }
 
 // muxSelects counts activation-mux switch events: one per effectual entry
