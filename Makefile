@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check serve-smoke bench bench-sim bench-sched fuzz-sched fmt clean
+.PHONY: all build vet test race check serve-smoke bench bench-sim bench-sched bench-kernel fuzz-sched fuzz-kernel fmt clean
 
 all: check
 
@@ -39,11 +39,21 @@ bench-sim:
 bench-sched:
 	TCL_BENCH_SCHED=1 $(GO) test ./internal/sched -run TestEmitBenchSched -v -timeout 30m
 
+# Regenerate BENCH_kernel.json: SWAR vs scalar column-max ns/op and
+# allocs/op per lane count.
+bench-kernel:
+	TCL_BENCH_KERNEL=1 $(GO) test ./internal/sim -run TestEmitBenchKernel -v -timeout 10m
+
 # Differential fuzz of the optimized scheduling kernel against the reference
 # implementation (FUZZTIME defaults to 30s; raise for soak runs).
 FUZZTIME ?= 30s
 fuzz-sched:
 	$(GO) test ./internal/sched -fuzz FuzzKernelMatchesReference -fuzztime $(FUZZTIME) -run '^$$'
+
+# Differential fuzz of the SWAR column-max kernel against the scalar
+# reference.
+fuzz-kernel:
+	$(GO) test ./internal/sim -fuzz FuzzColumnMaxSWAR -fuzztime $(FUZZTIME) -run '^$$'
 
 fmt:
 	gofmt -w .

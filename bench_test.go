@@ -19,6 +19,7 @@ import (
 	"bittactical/internal/experiments"
 	"bittactical/internal/nn"
 	"bittactical/internal/sched"
+	"bittactical/internal/sim"
 )
 
 // benchOptions sizes the zoo so the full suite completes in minutes while
@@ -156,15 +157,22 @@ func TestEmitBenchSim(t *testing.T) {
 		Parallelism int     `json:"parallelism"`
 		GoMaxProcs  int     `json:"go_max_procs"`
 		NsPerOp     int64   `json:"ns_per_op"`
+		AllocsPerOp int64   `json:"allocs_per_op"`
 		Iterations  int     `json:"iterations"`
 		Speedup     float64 `json:"speedup_vs_serial,omitempty"`
+		// Contended marks measurements whose requested parallelism exceeds
+		// the host's GOMAXPROCS: the workers time-slice one core, so the
+		// number is the serial engine plus scheduling overhead, not a
+		// parallel-engine figure. Tooling comparing runs should skip them.
+		Contended bool `json:"contended,omitempty"`
 	}
 	// A worker pool cannot run faster than the scheduler lets it: when
 	// GOMAXPROCS is 1 (single-core hosts, constrained containers) the j=8
 	// measurement is the serial engine plus goroutine overhead, and a
 	// "speedup" derived from it is noise. Record the effective GOMAXPROCS on
-	// every measurement and emit speedup_vs_serial only when the host could
-	// actually run workers concurrently.
+	// every measurement, tag over-subscribed rows contended, and emit
+	// speedup_vs_serial only when the host could actually run workers
+	// concurrently.
 	concurrent := runtime.GOMAXPROCS(0) > 1
 	out := struct {
 		Generated  string   `json:"generated"`
@@ -192,8 +200,12 @@ func TestEmitBenchSim(t *testing.T) {
 			opts := benchOptions()
 			opts.Parallelism = par
 			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
+					// Each configuration pays its own schedule and plane
+					// builds: reset both shared caches per iteration.
 					sched.Shared.Reset()
+					sim.SharedPlanes.Reset()
 					if _, err := run(opts); err != nil {
 						b.Fatal(err)
 					}
@@ -201,8 +213,11 @@ func TestEmitBenchSim(t *testing.T) {
 			})
 			rec := record{
 				ID: id, Parallelism: par,
-				GoMaxProcs: runtime.GOMAXPROCS(0),
-				NsPerOp:    r.NsPerOp(), Iterations: r.N,
+				GoMaxProcs:  runtime.GOMAXPROCS(0),
+				NsPerOp:     r.NsPerOp(),
+				AllocsPerOp: int64(r.AllocsPerOp()),
+				Iterations:  r.N,
+				Contended:   par > runtime.GOMAXPROCS(0),
 			}
 			if par == 1 {
 				serialNs[id] = r.NsPerOp()

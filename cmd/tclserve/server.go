@@ -272,12 +272,16 @@ func (s *server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 	acts := m.GenerateActs(actSeed)
 	start := time.Now()
 	resp := simulateResponse{Model: m.Name}
-	for _, cfg := range cfgs {
-		res, err := sim.SimulateModelContext(ctx, cfg, m, acts, opts)
-		if err != nil {
-			s.writeEngineError(w, err)
-			return
-		}
+	// One engine invocation for the whole sweep: every config's work shares
+	// one worker pool (independent configs overlap) and one plane cache pass
+	// (configs with a common back-end and width reuse each layer's
+	// activation cost plane instead of rebuilding it).
+	results, err := sim.SimulateSweepContext(ctx, cfgs, m, acts, opts)
+	if err != nil {
+		s.writeEngineError(w, err)
+		return
+	}
+	for _, res := range results {
 		cr := configResponse{
 			Name:        res.Config,
 			Cycles:      res.TotalCycles(),

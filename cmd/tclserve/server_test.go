@@ -8,6 +8,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"bittactical/internal/nn"
+	"bittactical/internal/sim"
 )
 
 func testServer(t *testing.T, maxInFlight int) *server {
@@ -106,6 +109,74 @@ func TestSimulateAndMetrics(t *testing.T) {
 	}
 	if err := json.Unmarshal(snap["sim_layer_latency"], &lat); err != nil || lat.Count == 0 {
 		t.Errorf("sim_layer_latency count = %d (err %v), want nonzero", lat.Count, err)
+	}
+}
+
+// TestSimulatePlaneCacheSharing pins the sweep-sharing contract: a
+// two-config request whose configs share a (back-end, width) builds each
+// row-invariant layer's activation cost plane once and reuses it for the
+// second config — at least one hit per row-invariant layer — and /metrics
+// exposes the plane cache counters.
+func TestSimulatePlaneCacheSharing(t *testing.T) {
+	sim.SharedPlanes.Reset()
+	defer sim.SharedPlanes.Reset()
+	h := testServer(t, 2).routes()
+	rec := postJSON(t, h, "/v1/simulate",
+		smallBody(`"configs":[{"backend":"tcle","pattern":"T8<2,5>"},{"backend":"tcle","pattern":"L8<1,6>"}]`))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/simulate = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// The request's model, rebuilt to count which layers are plane-eligible
+	// (AlexNet-ES has grouped convs, which are row-variant and planeless).
+	zoo := nn.DefaultZoo()
+	zoo.ChannelScale, zoo.SpatialScale = 0.1, 0.25
+	m, err := nn.BuildModel("AlexNet-ES", zoo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lws, err := m.Lowered(16, m.GenerateActs(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowInv := 0
+	for _, lw := range lws {
+		if lw.ActRowInvariant() {
+			rowInv++
+		}
+	}
+	if rowInv == 0 {
+		t.Fatal("model has no row-invariant layers; test is vacuous")
+	}
+	st := sim.SharedPlanes.Stats()
+	if st.Misses != int64(rowInv) {
+		t.Errorf("plane cache misses = %d, want %d (one build per row-invariant layer)", st.Misses, rowInv)
+	}
+	if st.Hits < int64(rowInv) {
+		t.Errorf("plane cache hits = %d, want >= %d (second config reuses every plane)", st.Hits, rowInv)
+	}
+
+	mrec := getPath(t, h, "/metrics")
+	if mrec.Code != http.StatusOK {
+		t.Fatalf("/metrics = %d", mrec.Code)
+	}
+	var snap map[string]json.RawMessage
+	if err := json.Unmarshal(mrec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("/metrics is not JSON: %v", err)
+	}
+	for name, want := range map[string]int64{
+		"sim_plane_hits":    st.Hits,
+		"sim_plane_misses":  st.Misses,
+		"sim_plane_entries": int64(st.Entries),
+		"sim_plane_bytes":   st.Bytes,
+	} {
+		var v int64
+		if err := json.Unmarshal(snap[name], &v); err != nil {
+			t.Fatalf("metric %s = %s: %v", name, snap[name], err)
+		}
+		if v != want {
+			t.Errorf("metric %s = %d, want %d", name, v, want)
+		}
 	}
 }
 

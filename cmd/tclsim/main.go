@@ -25,6 +25,7 @@ import (
 	"bittactical/internal/nn"
 	"bittactical/internal/profiling"
 	"bittactical/internal/sched"
+	"bittactical/internal/sim"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func main() {
 		par     = flag.Int("j", 0, "worker parallelism (0 = GOMAXPROCS)")
 		list    = flag.Bool("list", false, "list experiment ids and exit")
 		sstats  = flag.Bool("schedstats", false, "print schedule-cache hit/miss stats on exit")
+		pstats  = flag.Bool("planestats", false, "print activation-plane-cache hit/miss stats on exit")
 		mstats  = flag.Bool("metrics", false, "dump the engine metrics snapshot (JSON) after the run")
 		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -105,6 +107,16 @@ func main() {
 		}
 		fmt.Printf("schedule cache: %d hits / %d misses (%.1f%% hit rate), %d evictions, %d resident entries\n",
 			st.Hits, st.Misses, rate, st.Evictions, st.Entries)
+	}
+	if *pstats {
+		st := sim.SharedPlanes.Stats()
+		total := st.Hits + st.Misses
+		var rate float64
+		if total > 0 {
+			rate = 100 * float64(st.Hits) / float64(total)
+		}
+		fmt.Printf("plane cache: %d hits / %d misses (%.1f%% hit rate), %d evictions, %d resident entries (%.1f MiB)\n",
+			st.Hits, st.Misses, rate, st.Evictions, st.Entries, float64(st.Bytes)/(1<<20))
 	}
 	if *mstats {
 		if err := metrics.Default.WriteJSON(os.Stdout); err != nil {

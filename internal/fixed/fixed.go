@@ -96,6 +96,16 @@ func FitFrac(w Width, maxAbs float64) int {
 	return frac
 }
 
+// SignExtend reinterprets the low w bits of code as a two's-complement
+// signed value: bit w-1 is the sign. This is the inverse of masking a code
+// with w.Mask() — for any value v representable at width w,
+// SignExtend(uint32(v)&w.Mask(), w) == v. Cost-table and plane builders use
+// it to reconstruct the signed activation behind each table index.
+func SignExtend(code uint32, w Width) int32 {
+	shift := 32 - uint(w)
+	return int32(code<<shift) >> shift
+}
+
 // Sat saturates v to width w.
 func Sat(v int64, w Width) int32 {
 	max, min := int64(w.MaxInt()), int64(w.MinInt())

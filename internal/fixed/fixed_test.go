@@ -142,3 +142,41 @@ func TestQuantizerScale(t *testing.T) {
 		t.Error("Scale(frac=-2) != 0.25")
 	}
 }
+
+func TestSignExtend(t *testing.T) {
+	for _, tc := range []struct {
+		code uint32
+		w    Width
+		want int32
+	}{
+		{0, W8, 0},
+		{1, W8, 1},
+		{0x7F, W8, 127},
+		{0x80, W8, -128},
+		{0xFF, W8, -1},
+		{0xAB, W8, -85},
+		{0x1FF, W8, -1}, // bits above the width are ignored
+		{0, W16, 0},
+		{0x7FFF, W16, 32767},
+		{0x8000, W16, -32768},
+		{0xFFFF, W16, -1},
+		{0x12345678, W16, 0x5678},
+	} {
+		if got := SignExtend(tc.code, tc.w); got != tc.want {
+			t.Errorf("SignExtend(%#x, %s) = %d, want %d", tc.code, tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestSignExtendRoundTrips(t *testing.T) {
+	// Every representable value survives a mask-then-extend round trip at
+	// both widths — the property the simulator's cost tables rely on when
+	// they index by masked code.
+	for _, w := range []Width{W8, W16} {
+		for v := w.MinInt(); v <= w.MaxInt(); v++ {
+			if got := SignExtend(uint32(v)&w.Mask(), w); got != v {
+				t.Fatalf("width %s: round trip of %d gave %d", w, v, got)
+			}
+		}
+	}
+}

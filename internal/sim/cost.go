@@ -31,8 +31,7 @@ func newCostTable(be arch.BackEnd, w fixed.Width) *costTable {
 	n := 1 << uint(w)
 	ct := &costTable{width: w, tab: make([]uint8, n)}
 	for i := 0; i < n; i++ {
-		// Reconstruct the signed code from its bit pattern.
-		v := int32(int16(i << (16 - uint(w)) >> (16 - uint(w))))
+		v := fixed.SignExtend(uint32(i), w)
 		var c int
 		switch be {
 		case arch.TCLe:
@@ -42,8 +41,11 @@ func newCostTable(be arch.BackEnd, w fixed.Width) *costTable {
 		default:
 			c = 1
 		}
-		if c > 255 {
-			c = 255
+		// The SWAR column-max compares costs as 7-bit bytes (kernel.go);
+		// every real cost is far below this bound (TCLp <= width+1, TCLe
+		// <= ceil((width+1)/2)), so the clamp is defensive only.
+		if c > maxLaneCost {
+			c = maxLaneCost
 		}
 		ct.tab[i] = uint8(c)
 	}

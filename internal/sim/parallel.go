@@ -26,6 +26,13 @@ type Options struct {
 	Cache *sched.Cache
 	// DisableCache forces every group to be rescheduled from scratch.
 	DisableCache bool
+	// PlaneCache overrides the activation cost plane cache (nil =
+	// SharedPlanes). Planes depend only on (activations, lowering geometry,
+	// back-end, width), so the default shared cache lets sweeps over
+	// front-end patterns build each layer's plane once.
+	PlaneCache *PlaneCache
+	// DisablePlaneCache builds planes privately per run, memoizing nothing.
+	DisablePlaneCache bool
 }
 
 func (o Options) workers() int {
@@ -43,6 +50,16 @@ func (o Options) cache() *sched.Cache {
 		return o.Cache
 	}
 	return sched.Shared
+}
+
+func (o Options) planeCache() *PlaneCache {
+	if o.DisablePlaneCache {
+		return nil
+	}
+	if o.PlaneCache != nil {
+		return o.PlaneCache
+	}
+	return SharedPlanes
 }
 
 // Pool occupancy and throughput, exported process-wide: the busy-worker

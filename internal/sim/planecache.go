@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"bittactical/internal/arch"
+	"bittactical/internal/fixed"
+	"bittactical/internal/metrics"
+	"bittactical/internal/nn"
+)
+
+// PlaneCache memoizes activation cost planes, mirroring sched.Cache for the
+// other half of the sweep workload: schedules are keyed on weights, planes
+// on activations. The key spells out why planes are shareable — a plane
+// depends on the input activations, the lowering geometry (the coords map
+// from (window, step, lane) to the tensor), the back-end kind, and the
+// datapath width, but NOT on the connectivity pattern, scheduler, tile
+// geometry, or weights — so a Figure-8b-style sweep of L<h,d>/T<h,d>
+// configs over one model builds each layer's plane once per back-end and
+// shares it across every pattern, both within one tclserve /v1/simulate
+// request and across requests (or tclsim experiment runs) through
+// SharedPlanes. Width is in the key because an 8-bit plane costs the same
+// value differently than a 16-bit one.
+//
+// Unlike sched.Cache, fills are single-flighted: a plane is megabytes of
+// work, so concurrent requesters of the same key (two sweep configs hitting
+// the same layer in the pool) wait on the first builder's sync.Once instead
+// of racing to duplicate the build.
+type PlaneCache struct {
+	mu       sync.Mutex
+	m        map[planeKey]*planeEntry
+	bytes    int64
+	maxBytes int64
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+// planeEntry single-flights one plane build: the creator runs the Once body;
+// later requesters of the same key block on it and share the result.
+type planeEntry struct {
+	once  sync.Once
+	plane *costPlane
+}
+
+// planeKey identifies one (layer activations+geometry, back-end, width)
+// triple. Two independent 64-bit hash streams over the full content make an
+// accidental collision implausible at any realistic cache size.
+type planeKey struct {
+	h1, h2 uint64
+	be     arch.BackEnd
+	width  fixed.Width
+}
+
+// defaultPlaneCacheBytes bounds resident plane bytes. Planes are large (a
+// full-size conv layer is megabytes), so unlike the schedule cache the
+// budget is in bytes, not entries; the default holds every layer of a
+// multi-model sweep at the evaluation scales while capping worst-case
+// memory. On overflow the cache drops everything but the entry being
+// inserted and refills — correct, bounded, trivial.
+const defaultPlaneCacheBytes = 256 << 20
+
+// NewPlaneCache returns an empty cache. maxBytes <= 0 selects the default
+// budget.
+func NewPlaneCache(maxBytes int64) *PlaneCache {
+	if maxBytes <= 0 {
+		maxBytes = defaultPlaneCacheBytes
+	}
+	return &PlaneCache{m: make(map[planeKey]*planeEntry), maxBytes: maxBytes}
+}
+
+// SharedPlanes is the process-wide plane cache the simulator uses by
+// default.
+var SharedPlanes = NewPlaneCache(0)
+
+func init() {
+	SharedPlanes.RegisterMetrics(metrics.Default, "sim_plane")
+}
+
+const (
+	planeFNVOffset = 14695981039346656037
+	planeFNVPrime  = 1099511628211
+)
+
+// planeKeyOf hashes everything the plane build reads: the back-end and
+// width (in the clear), the lowering geometry, the layer parameters the
+// coords/Act mapping consults, and the full input activation tensor.
+func planeKeyOf(lw *nn.Lowered, be arch.BackEnd, w fixed.Width) planeKey {
+	h1, h2 := uint64(planeFNVOffset), uint64(5381)
+	mix := func(v int64) {
+		for i := 0; i < 8; i++ {
+			h1 ^= uint64(byte(v >> (8 * i)))
+			h1 *= planeFNVPrime
+		}
+		h2 = h2*33 + uint64(v) + (h2 >> 27)
+	}
+	l := lw.Layer()
+	mix(int64(lw.Kind))
+	mix(int64(lw.Lanes))
+	mix(int64(lw.Steps))
+	mix(int64(lw.WindowCount))
+	mix(int64(l.C))
+	mix(int64(l.R))
+	mix(int64(l.S))
+	mix(int64(l.Stride))
+	mix(int64(l.Pad))
+	mix(int64(l.Groups))
+	in := lw.Input()
+	for _, d := range in.Shape {
+		mix(int64(d))
+	}
+	for _, v := range in.Data {
+		mix(int64(v))
+	}
+	return planeKey{h1: h1, h2: h2, be: be, width: w}
+}
+
+// get returns the memoized plane for (lw, be, w), building and storing it
+// on first use. ct must be the cost table of (be, w); it is consulted only
+// on a fill.
+func (c *PlaneCache) get(lw *nn.Lowered, be arch.BackEnd, w fixed.Width, ct *costTable) *costPlane {
+	key := planeKeyOf(lw, be, w)
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+		e = &planeEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.plane = buildPlane(lw, ct)
+		c.mu.Lock()
+		// Account the bytes only if the entry is still resident: an overflow
+		// drop that raced this build already discarded it from the map, and
+		// the builder's reference keeps the plane alive for its caller alone.
+		if cur, live := c.m[key]; live && cur == e {
+			c.bytes += e.plane.sizeBytes()
+			if c.bytes > c.maxBytes {
+				c.evictions.Add(int64(len(c.m) - 1))
+				c.m = map[planeKey]*planeEntry{key: e}
+				c.bytes = e.plane.sizeBytes()
+			}
+		}
+		c.mu.Unlock()
+	})
+	return e.plane
+}
+
+// PlaneCacheStats is a plane cache's lifetime counters and current
+// residency. Evictions counts individual entries dropped by the overflow
+// policy. A hit may still wait for the plane to finish building (the
+// single-flight case); it never duplicates the build.
+type PlaneCacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+	Bytes     int64
+}
+
+// Stats reports lifetime hit/miss/eviction counters and current residency.
+func (c *PlaneCache) Stats() PlaneCacheStats {
+	c.mu.Lock()
+	n, b := len(c.m), c.bytes
+	c.mu.Unlock()
+	return PlaneCacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   n,
+		Bytes:     b,
+	}
+}
+
+// RegisterMetrics exposes the cache's counters in the registry as
+// <prefix>_{hits,misses,evictions,entries,bytes}, read live at snapshot
+// time.
+func (c *PlaneCache) RegisterMetrics(r *metrics.Registry, prefix string) {
+	r.Func(prefix+"_hits", c.hits.Load)
+	r.Func(prefix+"_misses", c.misses.Load)
+	r.Func(prefix+"_evictions", c.evictions.Load)
+	r.Func(prefix+"_entries", func() int64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return int64(len(c.m))
+	})
+	r.Func(prefix+"_bytes", func() int64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.bytes
+	})
+}
+
+// Reset drops every entry and zeroes the counters. The dropped entries are
+// deliberate, not capacity pressure, so they do not count as evictions.
+func (c *PlaneCache) Reset() {
+	c.mu.Lock()
+	c.m = make(map[planeKey]*planeEntry)
+	c.bytes = 0
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evictions.Store(0)
+}

@@ -88,16 +88,61 @@ func SimulateLayerContext(ctx context.Context, cfg arch.Config, lw *nn.Lowered, 
 }
 
 // workItem is one unit of pool work: one window chunk [w0, w1) of one
-// resident filter group of one layer. Most groups are a single chunk; when a
-// load yields fewer filter groups than workers, groups split below the
-// filter-group grain into contiguous window ranges (aligned to the tile's
-// window-group size) so the pool stays busy on low-group-count layers — the
-// fig8b scaling cliff.
+// resident filter group of one layer of one sweep config. Most groups are a
+// single chunk; when a load yields fewer filter groups than workers, groups
+// split below the filter-group grain into contiguous window ranges (aligned
+// to the tile's window-group size) so the pool stays busy on
+// low-group-count layers — the fig8b scaling cliff.
 type workItem struct {
+	work         *configWork
 	layer, group int
 	f0, f1       int
 	w0, w1       int
 	chunk        int
+}
+
+// configWork is one sweep config's private slice of the shared pool run:
+// its cost table, per-layer pad masks, lazily-resolved activation cost
+// planes, and the per-group accumulators its chunks fold into. A sweep
+// flattens every config's chunks into one queue, so independent configs
+// overlap in the pool instead of executing back to back.
+type configWork struct {
+	cfg    arch.Config
+	lws    []*nn.Lowered
+	ct     *costTable
+	pads   [][]bool
+	planes []planeSlot
+	accums [][]groupAccum
+	// Per-layer latency tracking: first-touch timestamp (CAS once) and a
+	// countdown of unfinished groups; the worker finishing a layer's last
+	// group observes the span.
+	layerStart     []atomic.Int64
+	layerRemaining []atomic.Int32
+}
+
+// planeSlot resolves one layer's activation cost plane at most once per
+// run, whichever chunk worker gets there first; concurrent chunks of other
+// groups of the same layer wait on the Once instead of duplicating the
+// cache lookup (and, through the cache's own single-flight, the build).
+type planeSlot struct {
+	once  sync.Once
+	plane *costPlane
+}
+
+// planeFor returns layer li's cost plane, from the cache when one is
+// configured, built privately otherwise. Only called for row-invariant
+// layers under a serial back-end — the combination the plane layout is
+// defined for.
+func (cw *configWork) planeFor(li int, pc *PlaneCache) *costPlane {
+	s := &cw.planes[li]
+	s.once.Do(func() {
+		if pc != nil {
+			s.plane = pc.get(cw.lws[li], cw.cfg.BackEnd, cw.cfg.Width, cw.ct)
+		} else {
+			s.plane = buildPlane(cw.lws[li], cw.ct)
+		}
+	})
+	return s.plane
 }
 
 // groupAccum coordinates the chunks of one filter group. The first chunk
@@ -116,96 +161,121 @@ type groupAccum struct {
 	result    groupResult
 }
 
-// simulateLayers is the engine core shared by the layer and model entry
-// points: it flattens every layer's filter groups into one work queue
-// (splitting groups into window chunks when groups alone cannot fill the
-// pool), executes the chunks on the option's pool, and merges the shards in
-// (layer, group) order so the result does not depend on execution
-// interleaving. A cancelled ctx stops the pool from claiming further chunks
-// and returns (nil, ctx.Err()) — never a partial merge.
+// simulateLayers runs one config — the single-entry case of the sweep core.
 func simulateLayers(ctx context.Context, cfg arch.Config, lws []*nn.Lowered, opts Options) ([]LayerResult, error) {
-	for _, lw := range lws {
-		if lw.Lanes != cfg.Lanes {
-			panic(fmt.Sprintf("sim: lowered lanes %d != config lanes %d", lw.Lanes, cfg.Lanes))
-		}
+	rs, err := simulateSweep(ctx, []arch.Config{cfg}, [][]*nn.Lowered{lws}, opts)
+	if err != nil {
+		return nil, err
 	}
-	ct := newCostTable(cfg.BackEnd, cfg.Width)
+	return rs[0], nil
+}
+
+// simulateSweep is the engine core shared by the layer, model, and sweep
+// entry points: it flattens every config's (layer, filter group) work into
+// one queue (splitting groups into window chunks when groups alone cannot
+// fill the pool), executes the chunks on the option's pool, and merges each
+// config's shards in (layer, group) order so no result depends on execution
+// interleaving — per config, output is bit-identical to a serial run at any
+// Parallelism and any sweep composition. A cancelled ctx stops the pool
+// from claiming further chunks and returns (nil, ctx.Err()) — never a
+// partial merge.
+func simulateSweep(ctx context.Context, cfgs []arch.Config, lwss [][]*nn.Lowered, opts Options) ([][]LayerResult, error) {
 	cache := opts.cache()
-	rows := cfg.FiltersPerTile
+	planeCache := opts.planeCache()
 	workers := opts.workers()
 
 	totalGroups := 0
-	for _, lw := range lws {
-		totalGroups += (lw.Filters + rows - 1) / rows
-	}
-	// Sub-group split factor: only when whole groups cannot occupy the pool,
-	// and only for the serial back-ends whose per-window evaluation dominates
-	// (the bit-parallel path is already window-independent and cheap).
-	chunksPerGroup := 1
-	if cfg.BackEnd != arch.BitParallel && totalGroups > 0 && totalGroups < workers {
-		chunksPerGroup = (workers + totalGroups - 1) / totalGroups
+	works := make([]*configWork, len(cfgs))
+	for k, cfg := range cfgs {
+		for _, lw := range lwss[k] {
+			if lw.Lanes != cfg.Lanes {
+				panic(fmt.Sprintf("sim: lowered lanes %d != config lanes %d", lw.Lanes, cfg.Lanes))
+			}
+			totalGroups += (lw.Filters + cfg.FiltersPerTile - 1) / cfg.FiltersPerTile
+		}
 	}
 
-	pads := make([][]bool, len(lws))
-	accums := make([][]groupAccum, len(lws))
-	// Per-layer latency tracking: first-touch timestamp (CAS once) and a
-	// countdown of unfinished groups; the worker finishing a layer's last
-	// group observes the span.
-	layerStart := make([]atomic.Int64, len(lws))
-	layerRemaining := make([]atomic.Int32, len(lws))
 	var items []workItem
-	for li, lw := range lws {
-		pads[li] = padMask(lw)
-		denseGroups := (lw.Filters + rows - 1) / rows
-		accums[li] = make([]groupAccum, denseGroups)
-		layerRemaining[li].Store(int32(denseGroups))
-		// Chunks are aligned to the tile's window-group size so each chunk
-		// sees whole window groups (the unit the PE-total accumulation and
-		// the row-invariant cost grid are indexed by).
-		windowGroups := (lw.WindowCount + cfg.WindowsPerTile - 1) / cfg.WindowsPerTile
-		nChunks := min(chunksPerGroup, windowGroups)
-		if nChunks < 1 {
-			nChunks = 1
+	for k, cfg := range cfgs {
+		lws := lwss[k]
+		cw := &configWork{
+			cfg:            cfg,
+			lws:            lws,
+			ct:             newCostTable(cfg.BackEnd, cfg.Width),
+			pads:           make([][]bool, len(lws)),
+			planes:         make([]planeSlot, len(lws)),
+			accums:         make([][]groupAccum, len(lws)),
+			layerStart:     make([]atomic.Int64, len(lws)),
+			layerRemaining: make([]atomic.Int32, len(lws)),
 		}
-		for g := 0; g < denseGroups; g++ {
-			f0 := g * rows
-			f1 := min(f0+rows, lw.Filters)
-			ga := &accums[li][g]
-			ga.partials = make([]windowPartial, nChunks)
-			ga.remaining.Store(int32(nChunks))
-			for c := 0; c < nChunks; c++ {
-				// Even split of window groups across chunks, in window units.
-				wg0 := windowGroups * c / nChunks
-				wg1 := windowGroups * (c + 1) / nChunks
-				items = append(items, workItem{
-					layer: li, group: g, f0: f0, f1: f1,
-					w0:    wg0 * cfg.WindowsPerTile,
-					w1:    min(wg1*cfg.WindowsPerTile, lw.WindowCount),
-					chunk: c,
-				})
+		works[k] = cw
+		rows := cfg.FiltersPerTile
+		// Sub-group split factor: only when whole groups — across the whole
+		// sweep — cannot occupy the pool, and only for the serial back-ends
+		// whose per-window evaluation dominates (the bit-parallel path is
+		// already window-independent and cheap).
+		chunksPerGroup := 1
+		if cfg.BackEnd != arch.BitParallel && totalGroups > 0 && totalGroups < workers {
+			chunksPerGroup = (workers + totalGroups - 1) / totalGroups
+		}
+		for li, lw := range lws {
+			cw.pads[li] = padMask(lw)
+			denseGroups := (lw.Filters + rows - 1) / rows
+			cw.accums[li] = make([]groupAccum, denseGroups)
+			cw.layerRemaining[li].Store(int32(denseGroups))
+			// Chunks are aligned to the tile's window-group size so each chunk
+			// sees whole window groups (the unit the PE-total accumulation is
+			// indexed by).
+			windowGroups := (lw.WindowCount + cfg.WindowsPerTile - 1) / cfg.WindowsPerTile
+			nChunks := min(chunksPerGroup, windowGroups)
+			if nChunks < 1 {
+				nChunks = 1
+			}
+			for g := 0; g < denseGroups; g++ {
+				f0 := g * rows
+				f1 := min(f0+rows, lw.Filters)
+				ga := &cw.accums[li][g]
+				ga.partials = make([]windowPartial, nChunks)
+				ga.remaining.Store(int32(nChunks))
+				for c := 0; c < nChunks; c++ {
+					// Even split of window groups across chunks, in window units.
+					wg0 := windowGroups * c / nChunks
+					wg1 := windowGroups * (c + 1) / nChunks
+					items = append(items, workItem{
+						work: cw, layer: li, group: g, f0: f0, f1: f1,
+						w0:    wg0 * cfg.WindowsPerTile,
+						w1:    min(wg1*cfg.WindowsPerTile, lw.WindowCount),
+						chunk: c,
+					})
+				}
 			}
 		}
 	}
 	completed := runPool(ctx.Done(), workers, len(items), func(i int) {
 		it := items[i]
-		lw := lws[it.layer]
-		if layerStart[it.layer].Load() == 0 {
-			layerStart[it.layer].CompareAndSwap(0, time.Now().UnixNano())
+		cw := it.work
+		lw := cw.lws[it.layer]
+		if cw.layerStart[it.layer].Load() == 0 {
+			cw.layerStart[it.layer].CompareAndSwap(0, time.Now().UnixNano())
 		}
-		ga := &accums[it.layer][it.group]
+		ga := &cw.accums[it.layer][it.group]
 		ga.once.Do(func() {
-			ga.ctx = prepareGroup(cfg, lw, ct, pads[it.layer], it.f0, it.f1, cache)
+			ga.ctx = prepareGroup(cw.cfg, lw, cw.ct, cw.pads[it.layer], it.f0, it.f1, cache)
 		})
 		var wp windowPartial
 		if ga.ctx.needsWindows {
-			wp = ga.ctx.evalWindows(cfg, lw, ct, it.w0, it.w1)
+			var plane *costPlane
+			if ga.ctx.rowInv {
+				plane = cw.planeFor(it.layer, planeCache)
+			}
+			wp = ga.ctx.evalWindows(cw.cfg, lw, cw.ct, plane, it.w0, it.w1)
 		}
 		ga.partials[it.chunk] = wp
 		if ga.remaining.Add(-1) == 0 {
-			ga.result = finishGroup(cfg, ga.ctx, ga.partials)
+			ga.result = finishGroup(cw.cfg, ga.ctx, ga.partials)
 			ga.ctx = nil
-			if layerRemaining[it.layer].Add(-1) == 0 {
-				layerLatency.Observe(time.Duration(time.Now().UnixNano() - layerStart[it.layer].Load()))
+			if cw.layerRemaining[it.layer].Add(-1) == 0 {
+				layerLatency.Observe(time.Duration(time.Now().UnixNano() - cw.layerStart[it.layer].Load()))
 			}
 		}
 	})
@@ -216,13 +286,16 @@ func simulateLayers(ctx context.Context, cfg arch.Config, lws []*nn.Lowered, opt
 		// Unreachable: the pool only stops early when ctx is done.
 		return nil, context.Canceled
 	}
-	out := make([]LayerResult, len(lws))
-	for li, lw := range lws {
-		outcomes := make([]groupResult, len(accums[li]))
-		for g := range accums[li] {
-			outcomes[g] = accums[li][g].result
+	out := make([][]LayerResult, len(works))
+	for k, cw := range works {
+		out[k] = make([]LayerResult, len(cw.lws))
+		for li, lw := range cw.lws {
+			outcomes := make([]groupResult, len(cw.accums[li]))
+			for g := range cw.accums[li] {
+				outcomes[g] = cw.accums[li][g].result
+			}
+			out[k][li] = mergeLayer(cw.cfg, lw, outcomes)
 		}
-		out[li] = mergeLayer(cfg, lw, outcomes)
 	}
 	return out, nil
 }
@@ -311,9 +384,11 @@ func padMask(lw *nn.Lowered) []bool {
 
 // laneRef is one lane's activation source in one schedule column: the
 // promoted weight's dense position for effectual lanes, the window head for
-// idle ones.
+// idle ones. flat is the precomputed step*lanes+lane plane offset so the
+// window walk gathers straight out of a cost plane's window slice.
 type laneRef struct {
 	step, lane int32
+	flat       int32
 	weight     int32 // 0 for idle lanes
 }
 
@@ -335,6 +410,11 @@ type groupCtx struct {
 	nrows, cols  int
 	needsWindows bool // serial back-ends walk windows; bit-parallel is done at prepare
 	colRefs      [][][]laneRef
+	// colMasks[ci][ri] is the packed SWAR participation mask of one (column,
+	// row): 0xFF bytes for lanes that join the column sync (effectual
+	// weights, or every lane when the config has no front-end to gate the
+	// rest), 0x00 elsewhere. Gate-free groups share one fullLaneMask slice.
+	colMasks     [][][]uint64
 	gate, rowInv bool
 	base         groupResult // window-independent accumulations (full result when !needsWindows)
 }
@@ -423,25 +503,47 @@ func prepareGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f0
 	}
 
 	// Serial back-ends: column structure is window-independent; precompute
-	// per-column, per-row lane references once, shared by every chunk.
+	// per-column, per-row lane references and SWAR participation masks once,
+	// shared by every chunk.
+	ctx.gate = cfg.HasFrontEnd()
+	ctx.rowInv = lw.ActRowInvariant()
+	var sharedMask []uint64
+	if !ctx.gate {
+		sharedMask = fullLaneMask(lanes)
+	}
 	ctx.colRefs = make([][][]laneRef, cols)
+	ctx.colMasks = make([][][]uint64, cols)
 	for ci := 0; ci < cols; ci++ {
 		ctx.colRefs[ci] = make([][]laneRef, nrows)
+		ctx.colMasks[ci] = make([][]uint64, nrows)
 		for ri := 0; ri < nrows; ri++ {
 			col := schedules[ri].Columns[ci]
 			refs := make([]laneRef, lanes)
+			mask := sharedMask
+			if ctx.gate {
+				mask = make([]uint64, laneWords(lanes))
+			}
 			for ln, e := range col.Entries {
 				if e.Weight != 0 {
-					refs[ln] = laneRef{step: int32(e.SrcStep), lane: int32(e.SrcLane), weight: e.Weight}
+					refs[ln] = laneRef{
+						step: int32(e.SrcStep), lane: int32(e.SrcLane),
+						flat:   int32(e.SrcStep*lanes + e.SrcLane),
+						weight: e.Weight,
+					}
+					if ctx.gate {
+						mask[ln>>3] |= 0xff << (8 * uint(ln&7))
+					}
 				} else {
-					refs[ln] = laneRef{step: int32(col.Head), lane: int32(ln)}
+					refs[ln] = laneRef{
+						step: int32(col.Head), lane: int32(ln),
+						flat: int32(col.Head*lanes + ln),
+					}
 				}
 			}
 			ctx.colRefs[ci][ri] = refs
+			ctx.colMasks[ci][ri] = mask
 		}
 	}
-	ctx.gate = cfg.HasFrontEnd()
-	ctx.rowInv = lw.ActRowInvariant()
 	return ctx
 }
 
@@ -457,65 +559,45 @@ func prepareGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f0
 // activations", charged as "Tile Sync"). Each PE grid column owns the
 // windows congruent to its position.
 //
-// Cost evaluation is single-pass: each lane's serial cost is computed
-// once per (column, row, window) into laneCost, feeding both the
-// column-max and the census. Where the activation fetch is
-// row-independent (FC, ungrouped conv), costs are precomputed per
-// window group into a dense (window, step, lane) grid and shared across
-// all PE rows and schedule columns.
-func (ctx *groupCtx) evalWindows(cfg arch.Config, lw *nn.Lowered, ct *costTable, wLo, wHi int) windowPartial {
+// Cost evaluation is single-pass: each lane's serial cost lands once per
+// (column, row, window) in laneCost, feeding both the SWAR column-max
+// (columnMax over the group's participation mask) and the census. When a
+// cost plane is supplied (row-invariant layers), costs are gathered from
+// the plane's window slice by precomputed flat offset — no Act fetch, no
+// costTable mask, no per-chunk grid build. plane == nil falls back to
+// fetching each cost through lw.Act with the row's own filter index; the
+// engine takes that path for row-variant layers (grouped/depthwise conv),
+// and the differential tests drive it on row-invariant layers too, as the
+// executable reference the plane gather is pinned against.
+func (ctx *groupCtx) evalWindows(cfg arch.Config, lw *nn.Lowered, ct *costTable, plane *costPlane, wLo, wHi int) windowPartial {
 	lanes, wg := cfg.Lanes, cfg.WindowsPerTile
-	steps := lw.Steps
 	nrows, cols, f0 := ctx.nrows, ctx.cols, ctx.f0
-	gate, rowInv := ctx.gate, ctx.rowInv
 	wp := windowPartial{peTotals: make([]int64, nrows*wg)}
-	laneCost := make([]uint8, lanes)
-	var grid []uint8
-	if rowInv {
-		grid = make([]uint8, wg*steps*lanes)
-	}
+	laneCost := make([]uint8, padLanes(lanes))
 	for w0 := wLo; w0 < wHi; w0 += wg {
 		w1 := w0 + wg
 		if w1 > wHi {
 			w1 = wHi
 		}
 		nw := w1 - w0
-		if rowInv {
-			for wi := 0; wi < nw; wi++ {
-				g := grid[wi*steps*lanes : (wi+1)*steps*lanes]
-				for st := 0; st < steps; st++ {
-					for ln := 0; ln < lanes; ln++ {
-						g[st*lanes+ln] = ct.costU8(lw.Act(f0, w0+wi, st, ln))
-					}
-				}
-			}
-		}
 		for ci := 0; ci < cols; ci++ {
 			for ri := 0; ri < nrows; ri++ {
 				refs := ctx.colRefs[ci][ri]
+				mask := ctx.colMasks[ci][ri]
 				fIdx := f0 + ri
 				for wi := 0; wi < nw; wi++ {
-					peMax := 1
-					if rowInv {
-						g := grid[wi*steps*lanes:]
+					if plane != nil {
+						g := plane.window(w0 + wi)
 						for ln := 0; ln < lanes; ln++ {
-							rf := refs[ln]
-							c := g[int(rf.step)*lanes+int(rf.lane)]
-							laneCost[ln] = c
-							if (rf.weight != 0 || !gate) && int(c) > peMax {
-								peMax = int(c)
-							}
+							laneCost[ln] = g[refs[ln].flat]
 						}
 					} else {
 						for ln := 0; ln < lanes; ln++ {
 							rf := refs[ln]
-							c := ct.costU8(lw.Act(fIdx, w0+wi, int(rf.step), int(rf.lane)))
-							laneCost[ln] = c
-							if (rf.weight != 0 || !gate) && int(c) > peMax {
-								peMax = int(c)
-							}
+							laneCost[ln] = ct.costU8(lw.Act(fIdx, w0+wi, int(rf.step), int(rf.lane)))
 						}
 					}
+					peMax := columnMax(laneCost, mask)
 					wp.peTotals[ri*wg+wi] += int64(peMax)
 					// Lane census for this PE column, from the same costs.
 					for ln := 0; ln < lanes; ln++ {
@@ -530,7 +612,7 @@ func (ctx *groupCtx) evalWindows(cfg arch.Config, lw *nn.Lowered, ct *costTable,
 							wp.backEnd.AZero += int64(peMax)
 						case c > 0:
 							wp.backEnd.WZero += int64(peMax)
-							if !gate {
+							if !ctx.gate {
 								wp.serial += int64(c)
 							}
 						default:

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"context"
+
+	"bittactical/internal/arch"
+	"bittactical/internal/nn"
+	"bittactical/internal/tensor"
+)
+
+// SimulateSweep runs one model under several configurations as a single
+// engine invocation with default options. See SimulateSweepContext.
+func SimulateSweep(cfgs []arch.Config, m *nn.Model, acts []*tensor.T) ([]*Result, error) {
+	return SimulateSweepContext(context.Background(), cfgs, m, acts, Options{})
+}
+
+// SimulateSweepContext runs one model under several configurations — the
+// shape of a tclserve /v1/simulate request or a figure sweep — as a single
+// engine invocation. Every config's (layer, filter-group, window-chunk)
+// items are flattened into one queue on one worker pool, so independent
+// configs overlap instead of executing back to back, and the tail of one
+// config's largest layer no longer idles the pool before the next config
+// starts. The model is lowered once per distinct lane count, and
+// row-invariant layers' activation cost planes are resolved through the
+// options' plane cache, so configs sharing a (back-end, width) share
+// planes. Results are returned in config order, each bit-identical to a
+// standalone SimulateModelContext run of that config.
+//
+// Cancellation matches SimulateModelContext: a done ctx stops the pool and
+// returns (nil, ctx.Err()) with no partial results for any config.
+func SimulateSweepContext(ctx context.Context, cfgs []arch.Config, m *nn.Model, acts []*tensor.T, opts Options) ([]*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for _, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	lwByLanes := make(map[int][]*nn.Lowered)
+	lwss := make([][]*nn.Lowered, len(cfgs))
+	for k, cfg := range cfgs {
+		lws, ok := lwByLanes[cfg.Lanes]
+		if !ok {
+			var err error
+			lws, err = m.Lowered(cfg.Lanes, acts)
+			if err != nil {
+				return nil, err
+			}
+			lwByLanes[cfg.Lanes] = lws
+		}
+		lwss[k] = lws
+	}
+	layerss, err := simulateSweep(ctx, cfgs, lwss, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(cfgs))
+	for k, cfg := range cfgs {
+		out[k] = &Result{Config: cfg.Name, Layers: layerss[k]}
+	}
+	return out, nil
+}
