@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check serve-smoke bench bench-sim bench-sched bench-kernel fuzz-sched fuzz-kernel fmt clean
+.PHONY: all build vet test race check lint-backend serve-smoke bench bench-sim bench-sched bench-kernel fuzz-sched fuzz-kernel fmt clean
 
 all: check
 
@@ -16,10 +16,24 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The pre-commit gate: compile everything, vet, and run the full suite
-# under the race detector (the parallel engine is on by default, so every
-# test doubles as a race test).
-check: build vet race
+# The pre-commit gate: compile everything, vet, lint the back-end seam, and
+# run the full suite under the race detector (the parallel engine is on by
+# default, so every test doubles as a race test).
+check: build vet lint-backend race
+
+# Guard the back-end seam: all serial-cost semantics live behind the
+# internal/backend registry. Any switch arm on a back-end kind outside that
+# package (and its test-only legacy references) reintroduces the enum
+# dispatch this architecture removed, and breaks plugin back-ends like
+# dstripes-sm.
+lint-backend:
+	@bad=$$(grep -rn -E 'case arch\.(TCLe|TCLp|BitParallel)|switch .*\.BackEnd\b' \
+		--include='*.go' --exclude-dir=backend \
+		internal cmd examples *.go 2>/dev/null); \
+	if [ -n "$$bad" ]; then \
+		echo "back-end dispatch outside internal/backend (use backend.Backend methods):"; \
+		echo "$$bad"; exit 1; \
+	fi
 
 # End-to-end smoke of the evaluation service: builds the real tclserve
 # binary, starts it on an ephemeral port, hits /healthz, /v1/simulate and

@@ -23,6 +23,8 @@ import (
 	"context"
 
 	"bittactical/internal/arch"
+	"bittactical/internal/backend"
+	_ "bittactical/internal/backend/dstripes" // register the plugin back-end
 	"bittactical/internal/experiments"
 	"bittactical/internal/nn"
 	"bittactical/internal/sched"
@@ -91,6 +93,23 @@ func TCLp(p Pattern) Config { return arch.NewTCL(p, arch.TCLp) }
 
 // TCLe returns the Booth effectual-term design with pattern p.
 func TCLe(p Pattern) Config { return arch.NewTCL(p, arch.TCLe) }
+
+// Backends lists every registered activation back-end by name — the paper's
+// three plus any plugin registered via a backend.Register init (this package
+// links dstripes-sm, the sign-magnitude streaming extension).
+func Backends() []string { return backend.Names() }
+
+// ConfigForBackend returns the TCL design with pattern p and the named
+// activation back-end, resolved through the process-wide registry.
+// ConfigForBackend("TCLp", p) is TCLp(p); ConfigForBackend("dstripes-sm", p)
+// runs the plugin with no engine changes.
+func ConfigForBackend(name string, p Pattern) (Config, error) {
+	be, err := backend.Lookup(name)
+	if err != nil {
+		return Config{}, err
+	}
+	return arch.NewTCLBackend(p, be), nil
+}
 
 // ---- simulation ----
 

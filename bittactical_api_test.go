@@ -58,6 +58,44 @@ func TestPublicAPIPatterns(t *testing.T) {
 	}
 }
 
+func TestPublicAPIBackends(t *testing.T) {
+	names := bittactical.Backends()
+	for _, want := range []string{"bit-parallel", "TCLp", "TCLe", "dstripes-sm"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Backends() = %v, missing %q", names, want)
+		}
+	}
+	if _, err := bittactical.ConfigForBackend("warp", bittactical.Trident(2, 5)); err == nil {
+		t.Error("ConfigForBackend accepted an unknown name")
+	}
+	cfg, err := bittactical.ConfigForBackend("dstripes-sm", bittactical.Trident(2, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	zoo := bittactical.DefaultZoo()
+	zoo.ChannelScale, zoo.SpatialScale = 0.1, 0.25
+	m, err := bittactical.BuildModel("AlexNet-ES", zoo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bittactical.Simulate(cfg, m, m.GenerateActs(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup() <= 1 {
+		t.Errorf("dstripes-sm speedup %.2f, want > 1 on a pruned model", res.Speedup())
+	}
+}
+
 func TestPublicAPIModelNamesCopy(t *testing.T) {
 	names := bittactical.ModelNames()
 	if len(names) != 7 {

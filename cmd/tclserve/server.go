@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"bittactical/internal/arch"
+	"bittactical/internal/backend"
+	_ "bittactical/internal/backend/dstripes" // register the plugin back-end
 	"bittactical/internal/fixed"
 	"bittactical/internal/metrics"
 	"bittactical/internal/nn"
@@ -118,7 +120,8 @@ func (s *server) requestContext(r *http.Request, timeoutMs int64) (context.Conte
 // configSpec names one accelerator configuration of the Table-2 family.
 type configSpec struct {
 	// Backend: "dense" (DaDianNao++ baseline), "front-end" (weight skipping
-	// with a bit-parallel back-end), "tclp", or "tcle".
+	// with a bit-parallel back-end), or any registered back-end name
+	// (backend.Names(): "TCLp", "TCLe", "dstripes-sm", ...).
 	Backend string `json:"backend"`
 	// Pattern is a connectivity pattern label (sched.KnownPatternNames);
 	// required for "front-end", optional for the serial back-ends (empty =
@@ -149,12 +152,16 @@ func (c configSpec) build() (arch.Config, error) {
 			return arch.Config{}, fmt.Errorf("backend %q requires a pattern", c.Backend)
 		}
 		cfg = arch.FrontEndOnly(p)
-	case "tclp":
-		cfg = arch.NewTCL(p, arch.TCLp)
-	case "tcle":
-		cfg = arch.NewTCL(p, arch.TCLe)
 	default:
-		return arch.Config{}, fmt.Errorf("unknown backend %q (want dense, front-end, tclp, or tcle)", c.Backend)
+		// Everything else resolves through the process-wide back-end
+		// registry, so plugin back-ends become reachable over the API by
+		// registering themselves — no handler changes.
+		be, err := backend.Lookup(c.Backend)
+		if err != nil {
+			return arch.Config{}, fmt.Errorf("unknown backend %q (want dense, front-end, or one of: %s)",
+				c.Backend, strings.Join(backend.Names(), ", "))
+		}
+		cfg = arch.NewTCLBackend(p, be)
 	}
 	switch c.Width {
 	case 0, 16:

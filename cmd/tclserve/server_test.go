@@ -9,6 +9,8 @@ import (
 	"testing"
 	"time"
 
+	"bittactical/internal/backend"
+	"bittactical/internal/backend/dstripes"
 	"bittactical/internal/nn"
 	"bittactical/internal/sim"
 )
@@ -121,8 +123,12 @@ func TestSimulatePlaneCacheSharing(t *testing.T) {
 	sim.SharedPlanes.Reset()
 	defer sim.SharedPlanes.Reset()
 	h := testServer(t, 2).routes()
+	// Three configs, two distinct back-ends at the same width: the two TCLe
+	// configs share each layer's plane; the TCLp config — and any other
+	// back-end, since planes are keyed on Backend.Name() — must not collide
+	// with TCLe's planes and builds its own.
 	rec := postJSON(t, h, "/v1/simulate",
-		smallBody(`"configs":[{"backend":"tcle","pattern":"T8<2,5>"},{"backend":"tcle","pattern":"L8<1,6>"}]`))
+		smallBody(`"configs":[{"backend":"tcle","pattern":"T8<2,5>"},{"backend":"tcle","pattern":"L8<1,6>"},{"backend":"tclp","pattern":"T8<2,5>"}]`))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("/v1/simulate = %d: %s", rec.Code, rec.Body.String())
 	}
@@ -149,11 +155,11 @@ func TestSimulatePlaneCacheSharing(t *testing.T) {
 		t.Fatal("model has no row-invariant layers; test is vacuous")
 	}
 	st := sim.SharedPlanes.Stats()
-	if st.Misses != int64(rowInv) {
-		t.Errorf("plane cache misses = %d, want %d (one build per row-invariant layer)", st.Misses, rowInv)
+	if st.Misses != int64(2*rowInv) {
+		t.Errorf("plane cache misses = %d, want %d (one build per row-invariant layer per back-end)", st.Misses, 2*rowInv)
 	}
 	if st.Hits < int64(rowInv) {
-		t.Errorf("plane cache hits = %d, want >= %d (second config reuses every plane)", st.Hits, rowInv)
+		t.Errorf("plane cache hits = %d, want >= %d (second TCLe config reuses every plane)", st.Hits, rowInv)
 	}
 
 	mrec := getPath(t, h, "/metrics")
@@ -240,6 +246,57 @@ func TestSimulateBadRequests(t *testing.T) {
 		if rec := postJSON(t, h, "/v1/simulate", c.body); rec.Code != http.StatusBadRequest {
 			t.Errorf("%s: status = %d, want 400 (%s)", c.name, rec.Code, rec.Body.String())
 		}
+	}
+}
+
+// TestSimulateUnknownBackendListsRegistry pins the error contract: an
+// unknown back-end name is rejected with HTTP 400 and the body names every
+// registered back-end, so API users can discover what the registry holds.
+func TestSimulateUnknownBackendListsRegistry(t *testing.T) {
+	h := testServer(t, 2).routes()
+	rec := postJSON(t, h, "/v1/simulate", smallBody(`"configs":[{"backend":"warp"}]`))
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown backend = %d, want 400 (%s)", rec.Code, rec.Body.String())
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, "warp") {
+		t.Errorf("400 body does not echo the bad name: %s", body)
+	}
+	for _, name := range backend.Names() {
+		if !strings.Contains(body, name) {
+			t.Errorf("400 body does not list registered back-end %q: %s", name, body)
+		}
+	}
+}
+
+// TestSimulatePluginBackend is the service-level seam proof: the
+// sign-magnitude plugin back-end, registered by a blank import and never
+// mentioned in the handler code, runs end-to-end over /v1/simulate.
+func TestSimulatePluginBackend(t *testing.T) {
+	h := testServer(t, 2).routes()
+	rec := postJSON(t, h, "/v1/simulate",
+		smallBody(`"configs":[{"backend":"dstripes-sm","pattern":"T8<2,5>"},{"backend":"tclp","pattern":"T8<2,5>"}]`))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/simulate = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp simulateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Configs) != 2 {
+		t.Fatalf("got %d configs, want 2", len(resp.Configs))
+	}
+	sm, tclp := resp.Configs[0], resp.Configs[1]
+	if !strings.Contains(sm.Name, dstripes.Name) {
+		t.Errorf("config name %q does not carry the plugin back-end name", sm.Name)
+	}
+	if sm.Cycles == 0 || sm.Speedup <= 0 || len(sm.Layers) == 0 {
+		t.Fatalf("empty plugin simulation result: %+v", sm)
+	}
+	// Sign-magnitude streams from bit 0 without trimming, so it can never
+	// finish the model faster than TCLp's dynamic-precision window.
+	if sm.Cycles < tclp.Cycles {
+		t.Errorf("dstripes-sm cycles %d < TCLp cycles %d; cost ordering violated", sm.Cycles, tclp.Cycles)
 	}
 }
 

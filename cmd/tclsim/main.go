@@ -8,7 +8,9 @@
 //	tclsim -exp table1 -cscale 0.5 -sscale 0.5   # larger instantiation
 //	tclsim -exp fig8b -j 8 -cpuprofile cpu.out   # bounded parallelism + pprof
 //	tclsim -exp all -schedstats       # report schedule-cache effectiveness
-//	tclsim -list
+//	tclsim -backend dstripes-sm       # ad-hoc sweep of one registered back-end
+//	tclsim -backend dstripes-sm -models AlexNet-ES,GoogLeNet-ES
+//	tclsim -list                      # experiment ids and back-end names
 package main
 
 import (
@@ -20,6 +22,8 @@ import (
 	"strings"
 	"time"
 
+	"bittactical/internal/backend"
+	_ "bittactical/internal/backend/dstripes" // register the plugin back-end
 	"bittactical/internal/experiments"
 	"bittactical/internal/metrics"
 	"bittactical/internal/nn"
@@ -31,6 +35,7 @@ import (
 func main() {
 	var (
 		exp     = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		beName  = flag.String("backend", "", "run an ad-hoc speedup sweep of one registered back-end, e.g. dstripes-sm (see -list)")
 		models  = flag.String("models", "", "comma-separated model subset")
 		cscale  = flag.Float64("cscale", 0.25, "channel scale of the model zoo")
 		sscale  = flag.Float64("sscale", 0.5, "spatial scale of the model zoo")
@@ -52,6 +57,7 @@ func main() {
 		for _, id := range experiments.IDs() {
 			fmt.Println(id)
 		}
+		fmt.Println("back-ends (for -backend):", strings.Join(backend.Names(), ", "))
 		return
 	}
 
@@ -73,18 +79,34 @@ func main() {
 		opts.Models = strings.Split(*models, ",")
 	}
 
-	ids := []string{*exp}
-	if *exp == "all" {
-		ids = experiments.IDs()
+	type runner struct {
+		id  string
+		run func(experiments.Options) (*experiments.Table, error)
 	}
-	for _, id := range ids {
-		run, ok := experiments.Registry[id]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "tclsim: unknown experiment %q (try -list)\n", id)
-			os.Exit(2)
+	var runs []runner
+	if *beName != "" {
+		name := *beName
+		runs = []runner{{"backend:" + name, func(o experiments.Options) (*experiments.Table, error) {
+			return experiments.BackendSpeedup(o, name)
+		}}}
+	} else {
+		ids := []string{*exp}
+		if *exp == "all" {
+			ids = experiments.IDs()
 		}
+		for _, id := range ids {
+			run, ok := experiments.Registry[id]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "tclsim: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			runs = append(runs, runner{id, run})
+		}
+	}
+	for _, r := range runs {
+		id := r.id
 		start := time.Now()
-		tab, err := run(opts)
+		tab, err := r.run(opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tclsim: %s: %v\n", id, err)
 			os.Exit(1)

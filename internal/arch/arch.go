@@ -6,11 +6,16 @@ package arch
 import (
 	"fmt"
 
+	"bittactical/internal/backend"
 	"bittactical/internal/fixed"
 	"bittactical/internal/sched"
 )
 
 // BackEnd selects how a processing element consumes activations.
+//
+// Deprecated: the enum survives only so the Table-2 constructors keep their
+// historical signatures. New code should resolve a backend.Backend through
+// the registry (backend.Lookup) and build configs with NewTCLBackend.
 type BackEnd int
 
 const (
@@ -25,17 +30,25 @@ const (
 	TCLe
 )
 
+// legacyNames maps the enum values onto their registry names.
+var legacyNames = map[BackEnd]string{
+	BitParallel: "bit-parallel",
+	TCLp:        "TCLp",
+	TCLe:        "TCLe",
+}
+
 func (b BackEnd) String() string {
-	switch b {
-	case BitParallel:
-		return "bit-parallel"
-	case TCLp:
-		return "TCLp"
-	case TCLe:
-		return "TCLe"
-	default:
-		return fmt.Sprintf("BackEnd(%d)", int(b))
+	if s, ok := legacyNames[b]; ok {
+		return s
 	}
+	return fmt.Sprintf("BackEnd(%d)", int(b))
+}
+
+// Impl resolves the enum value to its registered backend implementation.
+// It panics on a value outside the historical enum — those were undefined
+// behavior under the switch dispatch this shim replaces.
+func (b BackEnd) Impl() backend.Backend {
+	return backend.MustLookup(b.String())
 }
 
 // Config is one accelerator configuration (Table 2).
@@ -57,8 +70,10 @@ type Config struct {
 	// Pattern is the front-end connectivity; zero-valued (no offsets, H=0)
 	// means no weight skipping (the dense baseline).
 	Pattern sched.Pattern
-	// BackEnd selects the activation consumption model.
-	BackEnd BackEnd
+	// Backend is the activation consumption model: per-value serial cost,
+	// reference arithmetic, serial term stream, and energy/area coefficients
+	// (see internal/backend). Any registered back-end drops in here.
+	Backend backend.Backend
 	// Scheduler is the software scheduling heuristic.
 	Scheduler sched.Algorithm
 	// PsumRegsPerPE is the number of output partial-sum registers (4 in the
@@ -84,10 +99,16 @@ func (c Config) HasFrontEnd() bool {
 // TotalFilterRows is the number of filters resident at once chip-wide.
 func (c Config) TotalFilterRows() int { return c.Tiles * c.FiltersPerTile }
 
+// Serial reports whether the configured back-end streams activations over
+// multiple cycles (false for a nil back-end, like the zero Config).
+func (c Config) Serial() bool {
+	return c.Backend != nil && c.Backend.Serial()
+}
+
 // PeakMACsPerCycle is the chip's dense-equivalent multiply bandwidth.
 func (c Config) PeakMACsPerCycle() int64 {
 	per := int64(c.Tiles) * int64(c.FiltersPerTile) * int64(c.Lanes) * int64(c.WindowsPerTile)
-	if c.BackEnd != BitParallel {
+	if c.Serial() {
 		// A serial lane needs Width cycles for a full-precision activation.
 		per /= int64(c.Width)
 	}
@@ -107,7 +128,10 @@ func (c Config) Validate() error {
 	if !c.Width.Valid() {
 		return fmt.Errorf("arch: %s: invalid width %d", c.Name, int(c.Width))
 	}
-	if c.BackEnd != BitParallel && c.WindowsPerTile < int(c.Width)/2 {
+	if c.Backend == nil {
+		return fmt.Errorf("arch: %s: nil back-end (build configs through the arch constructors or set Backend explicitly)", c.Name)
+	}
+	if c.Serial() && c.WindowsPerTile < int(c.Width)/2 {
 		return fmt.Errorf("arch: %s: serial back-end with %d windows cannot reach baseline throughput",
 			c.Name, c.WindowsPerTile)
 	}
@@ -127,6 +151,7 @@ func base() Config {
 		ASBytesPerTile: 32 * 1024 * 32,
 		WSBytesPerTile: 2 * 1024 * 32,
 		ActBufBanks:    1,
+		Backend:        backend.MustLookup("bit-parallel"),
 	}
 }
 
@@ -149,15 +174,24 @@ func FrontEndOnly(p sched.Pattern) Config {
 
 // NewTCL builds a full TCL configuration with the given pattern and serial
 // back-end; serial back-ends process 16 windows concurrently (Section 5.2).
+//
+// Deprecated: NewTCL keeps the enum-based signature for the Table-2 call
+// sites; it delegates to NewTCLBackend.
 func NewTCL(p sched.Pattern, be BackEnd) Config {
+	return NewTCLBackend(p, be.Impl())
+}
+
+// NewTCLBackend builds a full TCL configuration with the given pattern and
+// any registered back-end implementation.
+func NewTCLBackend(p sched.Pattern, be backend.Backend) Config {
 	c := base()
 	c.Pattern = p
-	c.BackEnd = be
+	c.Backend = be
 	c.ActBufBanks = p.H + 1
-	if be != BitParallel {
+	if be.Serial() {
 		c.WindowsPerTile = 16
 	}
-	c.Name = fmt.Sprintf("%s/%s", be, p.Name)
+	c.Name = fmt.Sprintf("%s/%s", be.Name(), p.Name)
 	return c
 }
 
@@ -167,7 +201,7 @@ func NewTCL(p sched.Pattern, be BackEnd) Config {
 // 8-bit TCL tile has 8 window columns where the 16-bit tile has 16.
 func (c Config) WithWidth(w fixed.Width) Config {
 	c.Width = w
-	if c.BackEnd != BitParallel {
+	if c.Serial() {
 		c.WindowsPerTile = int(w)
 	}
 	return c

@@ -1,6 +1,7 @@
 package arch
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestDaDianNaoPPDefaults(t *testing.T) {
 	if c.HasFrontEnd() {
 		t.Error("baseline must not have a front-end")
 	}
-	if c.BackEnd != BitParallel {
+	if c.Backend.Name() != "bit-parallel" || c.Serial() {
 		t.Error("baseline back-end must be bit-parallel")
 	}
 	// Table 2: 2 TOPS peak.
@@ -40,7 +41,7 @@ func TestNewTCLWindows(t *testing.T) {
 		t.Errorf("activation buffer banks = %d, want h+1 = 3", e.ActBufBanks)
 	}
 	fe := FrontEndOnly(sched.T(2, 5))
-	if fe.WindowsPerTile != 1 || fe.BackEnd != BitParallel {
+	if fe.WindowsPerTile != 1 || fe.Serial() {
 		t.Error("front-end-only keeps the bit-parallel single-window tile")
 	}
 }
@@ -88,6 +89,36 @@ func TestBackEndString(t *testing.T) {
 		if be.String() != want {
 			t.Errorf("%d.String() = %q", int(be), be.String())
 		}
+	}
+	// Default branch: values outside the historical enum format as
+	// BackEnd(n), never a registered name.
+	for _, be := range []BackEnd{BackEnd(-1), BackEnd(3), BackEnd(42)} {
+		want := fmt.Sprintf("BackEnd(%d)", int(be))
+		if got := be.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(be), got, want)
+		}
+	}
+}
+
+func TestBackEndImpl(t *testing.T) {
+	for be, want := range map[BackEnd]string{BitParallel: "bit-parallel", TCLp: "TCLp", TCLe: "TCLe"} {
+		if got := be.Impl().Name(); got != want {
+			t.Errorf("%v.Impl().Name() = %q, want %q", be, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Impl() on an out-of-range enum value did not panic")
+		}
+	}()
+	BackEnd(42).Impl()
+}
+
+func TestValidateRejectsNilBackend(t *testing.T) {
+	c := DaDianNaoPP()
+	c.Backend = nil
+	if c.Validate() == nil {
+		t.Error("accepted nil back-end")
 	}
 }
 

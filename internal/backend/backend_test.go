@@ -1,0 +1,167 @@
+package backend
+
+import (
+	"strings"
+	"testing"
+
+	"bittactical/internal/bits"
+	"bittactical/internal/fixed"
+)
+
+func TestRegistryHasPaperBackends(t *testing.T) {
+	for _, name := range []string{"bit-parallel", "TCLp", "TCLe"} {
+		b, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if b.Name() != name {
+			t.Errorf("Lookup(%q).Name() = %q", name, b.Name())
+		}
+	}
+}
+
+func TestLookupCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"tclp", "TCLP", "tClE", "BIT-PARALLEL"} {
+		if _, err := Lookup(name); err != nil {
+			t.Errorf("Lookup(%q): %v", name, err)
+		}
+	}
+}
+
+func TestLookupMissListsNames(t *testing.T) {
+	_, err := Lookup("no-such-backend")
+	if err == nil {
+		t.Fatal("Lookup of unknown name succeeded")
+	}
+	for _, name := range Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("miss error %q does not list registered back-end %q", err, name)
+		}
+	}
+}
+
+func TestMustLookupPanicsOnMiss(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustLookup of unknown name did not panic")
+		}
+	}()
+	MustLookup("no-such-backend")
+}
+
+// namedStub lets registry tests exercise Register without real semantics.
+type namedStub struct {
+	bitParallel
+	name string
+}
+
+func (s namedStub) Name() string { return s.name }
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register(namedStub{name: "tclP"}) // case-insensitive clash with TCLp
+}
+
+func TestRegisterEmptyNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty-name Register did not panic")
+		}
+	}()
+	Register(namedStub{})
+}
+
+func TestNamesSorted(t *testing.T) {
+	names := Names()
+	if len(names) < 3 {
+		t.Fatalf("Names() = %v, want at least the three paper back-ends", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names() not strictly sorted: %v", names)
+		}
+	}
+}
+
+// TestMACIsValueExact pins the golden-model invariant: every back-end's
+// arithmetic route must land exactly on weight*act.
+func TestMACIsValueExact(t *testing.T) {
+	for _, name := range Names() {
+		be := MustLookup(name)
+		for _, w := range []fixed.Width{fixed.W16, fixed.W8} {
+			for _, act := range []int32{0, 1, -1, 5, -5, 127, -127, w.MaxInt(), w.MinInt(), 0x70, -0x70} {
+				for _, weight := range []int32{0, 1, -1, 3, -97, w.MaxInt(), w.MinInt()} {
+					want := int64(weight) * int64(act)
+					if got := be.MAC(weight, act, w); got != want {
+						t.Fatalf("%s: MAC(%d, %d, %s) = %d, want %d", name, weight, act, w, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTermsMatchCostAndValue pins the structural-datapath contract: the
+// serial term stream reconstructs the activation and its length equals the
+// analytic per-value cost for nonzero activations.
+func TestTermsMatchCostAndValue(t *testing.T) {
+	for _, name := range Names() {
+		be := MustLookup(name)
+		for _, w := range []fixed.Width{fixed.W16, fixed.W8} {
+			for v := w.MinInt(); v <= w.MaxInt(); v += 13 {
+				ts := be.Terms(v, w)
+				var sum int64
+				for _, f := range ts {
+					sum += f
+				}
+				if sum != int64(v) {
+					t.Fatalf("%s: Terms(%d, %s) sums to %d", name, v, w, sum)
+				}
+				if v != 0 {
+					if got, want := len(ts), be.Cost(v, w); got != want {
+						t.Fatalf("%s: len(Terms(%d, %s)) = %d, Cost = %d", name, v, w, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPaperCostSemantics pins each paper back-end's cost to the bits
+// package primitive it models.
+func TestPaperCostSemantics(t *testing.T) {
+	bp, p, e := MustLookup("bit-parallel"), MustLookup("TCLp"), MustLookup("TCLe")
+	for _, v := range []int32{0, 1, -1, 0x8f, -0x8f, 255, 256, -4096} {
+		if got := bp.Cost(v, fixed.W16); got != 1 {
+			t.Errorf("bit-parallel Cost(%d) = %d, want 1", v, got)
+		}
+		if got, want := p.Cost(v, fixed.W16), bits.ValuePrecision(v, fixed.W16).Bits(); got != want {
+			t.Errorf("TCLp Cost(%d) = %d, want %d", v, got, want)
+		}
+		if got, want := e.Cost(v, fixed.W16), bits.OneffsetCount(v, fixed.W16); got != want {
+			t.Errorf("TCLe Cost(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestTraits(t *testing.T) {
+	cases := []struct {
+		name          string
+		serial, offen bool
+	}{
+		{"bit-parallel", false, false},
+		{"TCLp", true, false},
+		{"TCLe", true, true},
+	}
+	for _, c := range cases {
+		be := MustLookup(c.name)
+		if be.Serial() != c.serial || be.OffsetEncoder() != c.offen {
+			t.Errorf("%s: Serial=%v OffsetEncoder=%v, want %v/%v",
+				c.name, be.Serial(), be.OffsetEncoder(), c.serial, c.offen)
+		}
+	}
+}

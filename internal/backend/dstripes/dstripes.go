@@ -1,0 +1,99 @@
+// Package dstripes ships the sign-magnitude Dynamic Stripes back-end as a
+// registry plugin: importing it (usually blank, from a main package or the
+// facade) makes "dstripes-sm" available to every engine package through
+// backend.Lookup, with zero edits to internal/sim, internal/energy, or
+// internal/datapath.
+//
+// Semantics: activations stream bit-serially in sign-magnitude form. The
+// lane walks every magnitude bit from bit 0 up to the value's highest set
+// bit — unlike TCLp there is no trailing-zero trim (the serial counter
+// always starts at bit 0) and no extra sign-handling cycle (the sign
+// travels beside the magnitude and steers the adder tree directly). A zero
+// activation costs nothing; the front-end scheduler skips it like any
+// other ineffectual value.
+package dstripes
+
+import (
+	"bittactical/internal/backend"
+	"bittactical/internal/bits"
+	"bittactical/internal/fixed"
+)
+
+// Name is the registry name of the sign-magnitude Dynamic Stripes back-end.
+const Name = "dstripes-sm"
+
+func init() {
+	backend.Register(signMagnitude{})
+}
+
+type signMagnitude struct{}
+
+func (signMagnitude) Name() string        { return Name }
+func (signMagnitude) Serial() bool        { return true }
+func (signMagnitude) OffsetEncoder() bool { return false }
+
+// Energy and area mirror the TCLp lane: the sign-magnitude stage is the
+// same AND-add datapath, with the sign folded into the adder tree instead
+// of a terminal correction step.
+func (signMagnitude) Energy() backend.EnergyCoeffs {
+	return backend.EnergyCoeffs{SerialOpPJ: 0.26}
+}
+
+func (signMagnitude) Area() backend.AreaCoeffs {
+	return backend.AreaCoeffs{ComputeCorePerLaneMM2: 0.000552, DispatcherMM2: 0.39, ASUWireBits: 1}
+}
+
+// Cost is Hi+1 cycles: every magnitude bit from 0 through the highest set
+// bit, no low-order trim, no sign cycle. Zero for zero.
+func (signMagnitude) Cost(v int32, w fixed.Width) int {
+	return bits.ValuePrecision(v, w).Hi + 1
+}
+
+// MAC AND-adds each magnitude bit, the sign steering add vs. subtract —
+// value exact by construction.
+func (signMagnitude) MAC(weight, act int32, w fixed.Width) int64 {
+	m := int64(act)
+	neg := m < 0
+	if neg {
+		m = -m
+	}
+	var acc int64
+	for b := 0; m != 0; b++ {
+		if m&1 == 1 {
+			if neg {
+				acc -= int64(weight) << uint(b)
+			} else {
+				acc += int64(weight) << uint(b)
+			}
+		}
+		m >>= 1
+	}
+	return acc
+}
+
+// Terms emits one signed factor per magnitude bit in [0, Hi], zeros for
+// unset bits; length equals Cost for nonzero activations.
+func (signMagnitude) Terms(act int32, w fixed.Width) []int64 {
+	if act == 0 {
+		return nil
+	}
+	neg := act < 0
+	m := act
+	if neg {
+		m = -m
+	}
+	p := bits.ValuePrecision(act, w)
+	out := make([]int64, 0, p.Hi+1)
+	for b := 0; b <= p.Hi; b++ {
+		if m&(1<<uint(b)) != 0 {
+			f := int64(1) << uint(b)
+			if neg {
+				f = -f
+			}
+			out = append(out, f)
+		} else {
+			out = append(out, 0)
+		}
+	}
+	return out
+}

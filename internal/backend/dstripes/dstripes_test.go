@@ -1,0 +1,89 @@
+package dstripes
+
+import (
+	"testing"
+
+	"bittactical/internal/backend"
+	"bittactical/internal/bits"
+	"bittactical/internal/fixed"
+)
+
+func TestRegisteredByImport(t *testing.T) {
+	be, err := backend.Lookup(Name)
+	if err != nil {
+		t.Fatalf("Lookup(%q): %v", Name, err)
+	}
+	if be.Name() != Name {
+		t.Errorf("Name() = %q, want %q", be.Name(), Name)
+	}
+	if !be.Serial() || be.OffsetEncoder() {
+		t.Errorf("traits Serial=%v OffsetEncoder=%v, want true/false", be.Serial(), be.OffsetEncoder())
+	}
+}
+
+func TestCostIsMagnitudeBitsFromZero(t *testing.T) {
+	be := backend.MustLookup(Name)
+	cases := []struct {
+		v    int32
+		want int
+	}{
+		{0, 0},   // skipped entirely
+		{1, 1},   // bit 0 only
+		{8, 4},   // bits 0..3 walked even though 0..2 are clear
+		{-8, 4},  // sign is free in sign-magnitude
+		{5, 3},   // bits 0..2
+		{255, 8}, // bits 0..7
+		{-1, 1},
+	}
+	for _, c := range cases {
+		if got := be.Cost(c.v, fixed.W16); got != c.want {
+			t.Errorf("Cost(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// Distinct from TCLp on both ends: no low-order trim, no sign cycle.
+	tclp := backend.MustLookup("TCLp")
+	if be.Cost(8, fixed.W16) == tclp.Cost(8, fixed.W16) {
+		t.Error("Cost(8) should differ from TCLp (no trailing-zero trim)")
+	}
+	if be.Cost(-1, fixed.W16) == tclp.Cost(-1, fixed.W16) {
+		t.Error("Cost(-1) should differ from TCLp (no sign cycle)")
+	}
+}
+
+func TestMACIsValueExact(t *testing.T) {
+	be := backend.MustLookup(Name)
+	for _, w := range []fixed.Width{fixed.W16, fixed.W8} {
+		for act := w.MinInt(); act <= w.MaxInt(); act += 7 {
+			for _, weight := range []int32{0, 1, -1, 3, -97, w.MaxInt(), w.MinInt()} {
+				want := int64(weight) * int64(act)
+				if got := be.MAC(weight, act, w); got != want {
+					t.Fatalf("MAC(%d, %d, %s) = %d, want %d", weight, act, w, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTermsMatchCostAndValue(t *testing.T) {
+	be := backend.MustLookup(Name)
+	for _, w := range []fixed.Width{fixed.W16, fixed.W8} {
+		for v := w.MinInt(); v <= w.MaxInt(); v += 5 {
+			ts := be.Terms(v, w)
+			var sum int64
+			for _, f := range ts {
+				sum += f
+			}
+			if sum != int64(v) {
+				t.Fatalf("Terms(%d, %s) sums to %d", v, w, sum)
+			}
+			if v != 0 {
+				if got, want := len(ts), be.Cost(v, w); got != want {
+					t.Fatalf("len(Terms(%d, %s)) = %d, Cost = %d", v, w, got, want)
+				}
+				if got, want := len(ts), bits.ValuePrecision(v, w).Hi+1; got != want {
+					t.Fatalf("len(Terms(%d, %s)) = %d, want Hi+1 = %d", v, w, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package backend
+
+import (
+	"bittactical/internal/bits"
+	"bittactical/internal/fixed"
+)
+
+// The paper's three back-ends (Table 2 / Section 5.2), registered at init.
+func init() {
+	Register(bitParallel{})
+	Register(tclp{})
+	Register(tcle{})
+}
+
+// ---- bit-parallel (DaDianNao++ and the Figure 8a front-end-only rows) ----
+
+// bitParallel multiplies one full-width activation per cycle.
+type bitParallel struct{}
+
+func (bitParallel) Name() string         { return "bit-parallel" }
+func (bitParallel) Serial() bool         { return false }
+func (bitParallel) OffsetEncoder() bool  { return false }
+func (bitParallel) Energy() EnergyCoeffs { return EnergyCoeffs{} }
+func (bitParallel) Area() AreaCoeffs {
+	return AreaCoeffs{ComputeCorePerLaneMM2: 0.003193, ASUWireBits: 16}
+}
+
+// Cost is one cycle per value regardless of content: the multiplier does
+// not exploit the activation's bits.
+func (bitParallel) Cost(v int32, w fixed.Width) int { return 1 }
+
+func (bitParallel) MAC(weight, act int32, w fixed.Width) int64 {
+	return int64(weight) * int64(act)
+}
+
+func (bitParallel) Terms(act int32, w fixed.Width) []int64 {
+	if act == 0 {
+		return []int64{0} // the lane still burns the multiply cycle
+	}
+	return []int64{int64(act)} // one full-width multiply
+}
+
+// ---- TCLp (Dynamic-Stripes-style dynamic precision, Section 5.2) ----
+
+// tclp streams activations bit-serially over their per-value dynamic
+// precision window [Lo, Hi], with a trailing sign-handling step for
+// negative values.
+type tclp struct{}
+
+func (tclp) Name() string        { return "TCLp" }
+func (tclp) Serial() bool        { return true }
+func (tclp) OffsetEncoder() bool { return false }
+func (tclp) Energy() EnergyCoeffs {
+	return EnergyCoeffs{SerialOpPJ: 0.26}
+}
+func (tclp) Area() AreaCoeffs {
+	return AreaCoeffs{ComputeCorePerLaneMM2: 0.000552, DispatcherMM2: 0.39, ASUWireBits: 1}
+}
+
+func (tclp) Cost(v int32, w fixed.Width) int {
+	return bits.ValuePrecision(v, w).Bits()
+}
+
+// MAC forms the product by AND-adding each bit of the trimmed magnitude
+// window, sign applied at the end — the bit-serial lane's arithmetic.
+func (tclp) MAC(weight, act int32, w fixed.Width) int64 {
+	m := int64(act)
+	neg := m < 0
+	if neg {
+		m = -m
+	}
+	var acc int64
+	for b := 0; m != 0; b++ {
+		if m&1 == 1 {
+			acc += int64(weight) << uint(b)
+		}
+		m >>= 1
+	}
+	if neg {
+		acc = -acc
+	}
+	return acc
+}
+
+func (tclp) Terms(act int32, w fixed.Width) []int64 {
+	if act == 0 {
+		return nil
+	}
+	neg := act < 0
+	m := act
+	if neg {
+		m = -m
+	}
+	p := bits.ValuePrecision(act, w)
+	out := make([]int64, 0, p.Bits())
+	for b := p.Lo; b <= p.Hi; b++ {
+		if m&(1<<uint(b)) != 0 {
+			f := int64(1) << uint(b)
+			if neg {
+				f = -f
+			}
+			out = append(out, f)
+		} else {
+			out = append(out, 0) // zero bit still costs the cycle
+		}
+	}
+	if neg {
+		out = append(out, 0) // sign-handling step
+	}
+	return out
+}
+
+// ---- TCLe (Pragmatic-style oneffsets, Section 5.2) ----
+
+// tcle streams activations serially over their Booth-encoded effectual
+// terms, one signed shift-add per oneffset.
+type tcle struct{}
+
+func (tcle) Name() string        { return "TCLe" }
+func (tcle) Serial() bool        { return true }
+func (tcle) OffsetEncoder() bool { return true }
+func (tcle) Energy() EnergyCoeffs {
+	return EnergyCoeffs{SerialOpPJ: 0.55, OffsetEncodePJ: 0.35}
+}
+func (tcle) Area() AreaCoeffs {
+	return AreaCoeffs{ComputeCorePerLaneMM2: 0.001132, DispatcherMM2: 0.37, OffsetGenMM2: 2.89, ASUWireBits: 4}
+}
+
+func (tcle) Cost(v int32, w fixed.Width) int {
+	return bits.OneffsetCount(v, w)
+}
+
+// MAC shift-adds one signed term per oneffset of the Booth encoding.
+func (tcle) MAC(weight, act int32, w fixed.Width) int64 {
+	var psum int64
+	for _, t := range bits.Booth(act, w) {
+		term := int64(weight) << uint(t.Exp)
+		if t.Sign < 0 {
+			psum -= term
+		} else {
+			psum += term
+		}
+	}
+	return psum
+}
+
+func (tcle) Terms(act int32, w fixed.Width) []int64 {
+	ts := bits.Booth(act, w)
+	out := make([]int64, len(ts))
+	for i, t := range ts {
+		out[i] = t.Value()
+	}
+	return out
+}

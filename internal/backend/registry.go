@@ -1,0 +1,68 @@
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The process-wide registry. Registration normally happens from package
+// init functions (the three paper back-ends below, plugins from their own
+// packages), but the mutex makes late registration from tests safe too.
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Backend) // keyed by lowercased name
+)
+
+// Register adds a back-end to the process-wide registry. It panics on an
+// empty name or a duplicate (case-insensitive) registration: both are
+// programming errors a deployment must fail loudly on, not race to win.
+func Register(b Backend) {
+	name := b.Name()
+	if name == "" {
+		panic("backend: Register with empty name")
+	}
+	key := strings.ToLower(name)
+	regMu.Lock()
+	defer regMu.Unlock()
+	if prev, ok := registry[key]; ok {
+		panic(fmt.Sprintf("backend: duplicate registration of %q (already registered as %q)", name, prev.Name()))
+	}
+	registry[key] = b
+}
+
+// Lookup resolves a registered back-end by name, case-insensitively. A
+// miss returns an error listing every registered name.
+func Lookup(name string) (Backend, error) {
+	regMu.RLock()
+	b, ok := registry[strings.ToLower(name)]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("backend: unknown back-end %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return b, nil
+}
+
+// MustLookup is Lookup for back-ends the program itself registered;
+// it panics on a miss.
+func MustLookup(name string) Backend {
+	b, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Names returns the display names of every registered back-end, sorted.
+func Names() []string {
+	regMu.RLock()
+	out := make([]string, 0, len(registry))
+	for _, b := range registry {
+		out = append(out, b.Name())
+	}
+	regMu.RUnlock()
+	sort.Strings(out)
+	return out
+}

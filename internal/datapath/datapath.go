@@ -25,7 +25,7 @@ import (
 	"fmt"
 
 	"bittactical/internal/arch"
-	"bittactical/internal/bits"
+	"bittactical/internal/backend"
 	"bittactical/internal/fixed"
 	"bittactical/internal/sched"
 )
@@ -123,53 +123,19 @@ type term struct {
 }
 
 // termsFor expands an activation into the back-end's serial stream.
-func termsFor(a int32, be arch.BackEnd, w fixed.Width) []term {
-	switch be {
-	case arch.TCLe:
-		ts := bits.Booth(a, w)
-		out := make([]term, len(ts))
-		for i, t := range ts {
-			out[i] = term{Factor: t.Value()}
-		}
-		return out
-	case arch.TCLp:
-		if a == 0 {
-			return nil
-		}
-		neg := a < 0
-		m := a
-		if neg {
-			m = -m
-		}
-		p := bits.ValuePrecision(a, w)
-		out := make([]term, 0, p.Bits())
-		for b := p.Lo; b <= p.Hi; b++ {
-			if m&(1<<uint(b)) != 0 {
-				f := int64(1) << uint(b)
-				if neg {
-					f = -f
-				}
-				out = append(out, term{Factor: f})
-			} else {
-				out = append(out, term{}) // zero bit still costs the cycle
-			}
-		}
-		if neg {
-			out = append(out, term{}) // sign-handling step
-		}
-		return out
-	default:
-		if a == 0 {
-			return []term{{}}
-		}
-		return []term{{Factor: int64(a)}} // one full-width multiply
+func termsFor(a int32, be backend.Backend, w fixed.Width) []term {
+	fs := be.Terms(a, w)
+	out := make([]term, len(fs))
+	for i, f := range fs {
+		out[i] = term{Factor: f}
 	}
+	return out
 }
 
 // PE is one processing element: weight lanes feeding an adder tree and a
 // psum register.
 type PE struct {
-	backEnd arch.BackEnd
+	backEnd backend.Backend
 	Psum    int64
 	// Cycles counts serial cycles; TreeReductions counts adder-tree
 	// activations; ShiftOps counts lane shift-add events.
@@ -235,7 +201,7 @@ func RunFilter(cfg arch.Config, f sched.Filter, s *sched.Schedule, src ActSource
 		h = 0
 	}
 	asu := NewASU(f.Lanes, h, win, src)
-	pe := &PE{backEnd: cfg.BackEnd}
+	pe := &PE{backEnd: cfg.Backend}
 	lanes := make([]laneStream, f.Lanes)
 	for ci, col := range s.Columns {
 		asu.SlideTo(col.Head, f.Steps-1)
@@ -249,7 +215,7 @@ func RunFilter(cfg arch.Config, f sched.Filter, s *sched.Schedule, src ActSource
 			if err != nil {
 				return 0, Stats{}, fmt.Errorf("datapath: column %d lane %d: %w", ci, ln, err)
 			}
-			lanes[ln] = laneStream{weight: e.Weight, terms: termsFor(a, cfg.BackEnd, cfg.Width)}
+			lanes[ln] = laneStream{weight: e.Weight, terms: termsFor(a, cfg.Backend, cfg.Width)}
 		}
 		pe.issueColumn(lanes)
 	}

@@ -182,7 +182,7 @@ func TestASUSelectErrors(t *testing.T) {
 func TestTermsForSemantics(t *testing.T) {
 	// TCLe: terms reconstruct the value; count == oneffsets.
 	for _, v := range []int32{0x008F, -5, 1, 32767, -32767} {
-		ts := termsFor(v, arch.TCLe, fixed.W16)
+		ts := termsFor(v, arch.TCLe.Impl(), fixed.W16)
 		var sum int64
 		for _, x := range ts {
 			sum += x.Factor
@@ -196,7 +196,7 @@ func TestTermsForSemantics(t *testing.T) {
 	}
 	// TCLp: stream length == precision bits; factors reconstruct.
 	for _, v := range []int32{0x008E, -6, 255, -32767} {
-		ts := termsFor(v, arch.TCLp, fixed.W16)
+		ts := termsFor(v, arch.TCLp.Impl(), fixed.W16)
 		if len(ts) != bits.ValuePrecision(v, fixed.W16).Bits() {
 			t.Errorf("TCLp stream of %d has %d steps, want %d",
 				v, len(ts), bits.ValuePrecision(v, fixed.W16).Bits())
@@ -210,11 +210,11 @@ func TestTermsForSemantics(t *testing.T) {
 		}
 	}
 	// Zero costs nothing serially (column sync supplies the floor).
-	if len(termsFor(0, arch.TCLe, fixed.W16)) != 0 || len(termsFor(0, arch.TCLp, fixed.W16)) != 0 {
+	if len(termsFor(0, arch.TCLe.Impl(), fixed.W16)) != 0 || len(termsFor(0, arch.TCLp.Impl(), fixed.W16)) != 0 {
 		t.Error("zero activation must stream no terms")
 	}
 	// Bit-parallel: exactly one step.
-	if len(termsFor(1234, arch.BitParallel, fixed.W16)) != 1 {
+	if len(termsFor(1234, arch.BitParallel.Impl(), fixed.W16)) != 1 {
 		t.Error("bit-parallel must take one step")
 	}
 }

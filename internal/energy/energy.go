@@ -15,17 +15,29 @@ import (
 	"bittactical/internal/sim"
 )
 
-// Constants are per-event energies in pJ at 65 nm / 1 GHz.
+// Constants are per-event energies in pJ at 65 nm / 1 GHz. Back-end-specific
+// serial-lane and offset-encode energies live on the registered
+// backend.Backend's EnergyCoeffs; the fields below price the events every
+// back-end shares.
 type Constants struct {
 	// MultMAC16 is a full 16-bit multiply plus its adder-tree share.
 	MultMAC16 float64
-	// SerialOpTCLe is one shift-and-add lane cycle (16-bit weight shifter).
+	// SerialOpTCLe mirrors the registered TCLe back-end's SerialOpPJ.
+	//
+	// Deprecated: kept as a calibration reference; Price reads the
+	// coefficient from the configuration's back-end.
 	SerialOpTCLe float64
-	// SerialOpTCLp is one bit-serial AND-and-add lane cycle.
+	// SerialOpTCLp mirrors the registered TCLp back-end's SerialOpPJ.
+	//
+	// Deprecated: kept as a calibration reference; Price reads the
+	// coefficient from the configuration's back-end.
 	SerialOpTCLp float64
 	// Mux is one activation-multiplexer switch.
 	Mux float64
-	// OffsetEncode is one activation through the TCLe offset generator.
+	// OffsetEncode mirrors the registered TCLe back-end's OffsetEncodePJ.
+	//
+	// Deprecated: kept as a calibration reference; Price reads the
+	// coefficient from the configuration's back-end.
 	OffsetEncode float64
 	// WSReadPerByte / ASReadPerByte price the banked scratchpads.
 	WSReadPerByte float64
@@ -83,19 +95,29 @@ func (b *Breakdown) Add(o Breakdown) {
 }
 
 // Price converts activity + traffic into an energy breakdown for the
-// configuration under the given off-chip technology.
+// configuration under the given off-chip technology. The back-end-specific
+// serial-lane and offset-encode coefficients come from the configuration's
+// registered back-end, width-scaled like the shared constants.
 func Price(cfg arch.Config, act sim.Activity, traffic memory.Traffic, tech memory.Tech, k Constants) Breakdown {
 	k = k.scaleForWidth(int(cfg.Width))
 	var b Breakdown
 
 	// Logic.
 	b.LogicPJ += float64(act.ParallelMACs) * k.MultMAC16
-	switch cfg.BackEnd {
-	case arch.TCLe:
-		b.LogicPJ += float64(act.SerialLaneCycles) * k.SerialOpTCLe
-		b.LogicPJ += float64(act.OffsetEncodes) * k.OffsetEncode
-	case arch.TCLp:
-		b.LogicPJ += float64(act.SerialLaneCycles) * k.SerialOpTCLp
+	if cfg.Backend != nil {
+		ec := cfg.Backend.Energy()
+		serialOp, offsetEncode := ec.SerialOpPJ, ec.OffsetEncodePJ
+		if bits := int(cfg.Width); bits < 16 {
+			s := float64(bits) / 16.0
+			serialOp *= s
+			offsetEncode *= s
+		}
+		if serialOp != 0 {
+			b.LogicPJ += float64(act.SerialLaneCycles) * serialOp
+		}
+		if offsetEncode != 0 {
+			b.LogicPJ += float64(act.OffsetEncodes) * offsetEncode
+		}
 	}
 	b.LogicPJ += float64(act.MuxSelects) * k.Mux
 
@@ -142,17 +164,10 @@ func AreaOf(cfg arch.Config) Area {
 		ActMemory:    54.25,
 	}
 	lanesTotal := float64(cfg.Tiles * cfg.FiltersPerTile * cfg.WindowsPerTile * cfg.Lanes)
-	switch cfg.BackEnd {
-	case arch.TCLe:
-		a.ComputeCore = lanesTotal * 0.001132
-		a.Dispatcher = 0.37
-		a.OffsetGen = 2.89
-	case arch.TCLp:
-		a.ComputeCore = lanesTotal * 0.000552
-		a.Dispatcher = 0.39
-	default:
-		a.ComputeCore = lanesTotal * 0.003193
-	}
+	ac := cfg.Backend.Area()
+	a.ComputeCore = lanesTotal * ac.ComputeCorePerLaneMM2
+	a.Dispatcher = ac.DispatcherMM2
+	a.OffsetGen = ac.OffsetGenMM2
 	h := 0
 	if cfg.HasFrontEnd() {
 		h = cfg.Pattern.H
@@ -165,13 +180,7 @@ func AreaOf(cfg arch.Config) Area {
 	if cfg.HasFrontEnd() {
 		// ASU: ABRs + shuffling muxes, scaling with window depth and the
 		// per-activation wire width (4-bit oneffsets vs single bit).
-		wires := 1.0
-		if cfg.BackEnd == arch.TCLe {
-			wires = 4.0
-		}
-		if cfg.BackEnd == arch.BitParallel {
-			wires = 16.0
-		}
+		wires := ac.ASUWireBits
 		a.ActSelectUnit = 0.0094 * float64(cfg.Tiles) * float64(h+1) * wires
 		// Sparse shuffling network: one (h+d+1)-input mux per lane.
 		a.ComputeCore += 0.45e-4 * lanesTotal * float64(cfg.Pattern.MuxInputs()) / 8 * wires / 4

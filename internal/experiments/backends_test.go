@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBackendsExtQuick(t *testing.T) {
+	tab, err := BackendsExt(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("got %d rows, want dstripes-sm and TCLp", len(tab.Rows))
+	}
+	if !strings.HasPrefix(tab.Rows[0][0], "dstripes-sm") || !strings.HasPrefix(tab.Rows[1][0], "TCLp") {
+		t.Fatalf("unexpected row order: %q, %q", tab.Rows[0][0], tab.Rows[1][0])
+	}
+	gm := len(tab.Header) - 1
+	sm, tclp := parse(t, tab.Rows[0][gm]), parse(t, tab.Rows[1][gm])
+	if sm <= 1 {
+		t.Errorf("dstripes-sm geomean speedup %v, want > 1 on pruned models", sm)
+	}
+	// Sign-magnitude never trims the serial window, so TCLp must win.
+	if sm > tclp {
+		t.Errorf("dstripes-sm %v outran TCLp %v; cost ordering violated", sm, tclp)
+	}
+}
+
+func TestBackendSpeedupResolvesRegistry(t *testing.T) {
+	o := Quick()
+	o.Models = []string{"AlexNet-ES"}
+	tab, err := BackendSpeedup(o, "dstripes-sm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("got %d rows, want one per pattern", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if v := parse(t, row[len(row)-1]); v <= 1 {
+			t.Errorf("%s: speedup %v, want > 1", row[0], v)
+		}
+	}
+	if _, err := BackendSpeedup(o, "warp"); err == nil {
+		t.Error("unknown back-end name must fail")
+	} else if !strings.Contains(err.Error(), "warp") {
+		t.Errorf("error %q should name the back-end", err)
+	}
+}

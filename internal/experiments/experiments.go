@@ -225,6 +225,7 @@ var Registry = map[string]func(Options) (*Table, error){
 	"fig12":    Fig12,
 	"fig13":    Fig13,
 	// Extensions beyond the paper's figures.
+	"backends-ext":   BackendsExt,
 	"baselines-ext":  ExtendedBaselines,
 	"ss-coverage":    SSCoverage,
 	"ablation-sync":  AblationSync,

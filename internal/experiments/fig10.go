@@ -85,7 +85,7 @@ func Fig10(o Options) (*Table, error) {
 	for wi, wl := range wls {
 		for ci, cfg := range cfgs {
 			r := grid[wi][ci]
-			row := []string{wl.Model.Name, cfg.BackEnd.String()}
+			row := []string{wl.Model.Name, cfg.Backend.Name()}
 			for _, s := range r.speed {
 				row = append(row, f2(s))
 			}

@@ -121,52 +121,7 @@ func Fig8b(o Options) (*Table, error) {
 
 // backEndSweep runs fig8bConfigs over the workloads (shared with Fig13).
 func backEndSweep(o Options, wls []*workload, id, title string) (*Table, error) {
-	cfgs := fig8bConfigs()
-	for i := range cfgs {
-		cfgs[i] = cfgs[i].WithWidth(wls[0].Model.Width)
-	}
-	t := &Table{ID: id, Title: title, Header: []string{"Config"}}
-	for _, wl := range wls {
-		t.Header = append(t.Header, wl.Model.Name)
-	}
-	t.Header = append(t.Header, "Geomean")
-
-	type job struct{ ci, wi int }
-	var jobs []job
-	for ci := range cfgs {
-		for wi := range wls {
-			jobs = append(jobs, job{ci, wi})
-		}
-	}
-	speed := make([][]float64, len(cfgs))
-	for i := range speed {
-		speed[i] = make([]float64, len(wls))
-	}
-	errs := make([]error, len(jobs))
-	parallelDo(o, len(jobs), func(i int) {
-		j := jobs[i]
-		res, err := simulateAll(o, cfgs[j.ci], wls[j.wi], nil)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		speed[j.ci][j.wi] = res.Speedup()
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	for ci, cfg := range cfgs {
-		label := fmt.Sprintf("%s<%d,%d>", cfg.BackEnd, cfg.Pattern.H, cfg.Pattern.D)
-		row := []string{label}
-		for wi := range wls {
-			row = append(row, f1(speed[ci][wi]))
-		}
-		row = append(row, f1(geomean(speed[ci])))
-		t.Rows = append(t.Rows, row)
-	}
-	return t, nil
+	return configSweep(o, wls, fig8bConfigs(), id, title)
 }
 
 // Fig8c reproduces Figure 8c: per-image energy breakdown (logic, on-chip

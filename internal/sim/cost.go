@@ -14,33 +14,24 @@
 package sim
 
 import (
-	"bittactical/internal/arch"
-	"bittactical/internal/bits"
+	"bittactical/internal/backend"
 	"bittactical/internal/fixed"
 )
 
-// costTable memoizes the per-value serial cost of every code at a width:
-// oneffset count for TCLe, dynamic precision bits for TCLp, 1 for the
-// bit-parallel back-end.
+// costTable memoizes the back-end's per-value serial cost of every code at
+// a width: oneffset count for TCLe, dynamic precision bits for TCLp, 1 for
+// the bit-parallel back-end — whatever the registered Backend's Cost says.
 type costTable struct {
 	width fixed.Width
 	tab   []uint8
 }
 
-func newCostTable(be arch.BackEnd, w fixed.Width) *costTable {
+func newCostTable(be backend.Backend, w fixed.Width) *costTable {
 	n := 1 << uint(w)
 	ct := &costTable{width: w, tab: make([]uint8, n)}
 	for i := 0; i < n; i++ {
 		v := fixed.SignExtend(uint32(i), w)
-		var c int
-		switch be {
-		case arch.TCLe:
-			c = bits.OneffsetCount(v, w)
-		case arch.TCLp:
-			c = bits.ValuePrecision(v, w).Bits()
-		default:
-			c = 1
-		}
+		c := be.Cost(v, w)
 		// The SWAR column-max compares costs as 7-bit bytes (kernel.go);
 		// every real cost is far below this bound (TCLp <= width+1, TCLe
 		// <= ceil((width+1)/2)), so the clamp is defensive only.

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"bittactical/internal/arch"
-	"bittactical/internal/bits"
 	"bittactical/internal/nn"
 	"bittactical/internal/sched"
 )
@@ -57,8 +56,9 @@ func ExecuteGolden(cfg arch.Config, lw *nn.Lowered) error {
 
 // executePsum accumulates one output through the modeled datapath: the WSU
 // selects each entry's activation by its (SrcStep, SrcLane) mux setting;
-// the back-end forms the product bit-parallel, bit-serially (TCLp), or by
-// shift-adding Booth terms (TCLe).
+// the back-end forms the product through its own arithmetic — bit-parallel
+// multiply, bit-serial AND-adds (TCLp), Booth shift-adds (TCLe), or
+// whatever the registered Backend's MAC models.
 func executePsum(cfg arch.Config, lw *nn.Lowered, s *sched.Schedule, f, win int) int64 {
 	var psum int64
 	for _, col := range s.Columns {
@@ -67,39 +67,7 @@ func executePsum(cfg arch.Config, lw *nn.Lowered, s *sched.Schedule, f, win int)
 				continue
 			}
 			a := lw.Act(f, win, e.SrcStep, e.SrcLane)
-			switch cfg.BackEnd {
-			case arch.TCLe:
-				// Shifter back-end: one signed shift-add per oneffset.
-				for _, t := range bits.Booth(a, cfg.Width) {
-					term := int64(e.Weight) << uint(t.Exp)
-					if t.Sign < 0 {
-						psum -= term
-					} else {
-						psum += term
-					}
-				}
-			case arch.TCLp:
-				// Bit-serial back-end: one AND-add per bit of the trimmed
-				// magnitude window, sign applied at the end.
-				m := int64(a)
-				neg := m < 0
-				if neg {
-					m = -m
-				}
-				var acc int64
-				for b := 0; m != 0; b++ {
-					if m&1 == 1 {
-						acc += int64(e.Weight) << uint(b)
-					}
-					m >>= 1
-				}
-				if neg {
-					acc = -acc
-				}
-				psum += acc
-			default:
-				psum += int64(e.Weight) * int64(a)
-			}
+			psum += cfg.Backend.MAC(e.Weight, a, cfg.Width)
 		}
 	}
 	return psum

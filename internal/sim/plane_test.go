@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"bittactical/internal/arch"
+	"bittactical/internal/backend"
+	"bittactical/internal/backend/dstripes"
 	"bittactical/internal/fixed"
 	"bittactical/internal/nn"
 	"bittactical/internal/sched"
@@ -42,7 +44,7 @@ func TestPlaneMatchesPerRowRecompute(t *testing.T) {
 			t.Fatalf("%s: expected row-invariant layer", lw.Name)
 		}
 		for _, cfg := range serialConfigs() {
-			ct := newCostTable(cfg.BackEnd, cfg.Width)
+			ct := newCostTable(cfg.Backend, cfg.Width)
 			plane := buildPlane(lw, ct)
 			pad := padMask(lw)
 			for f0 := 0; f0 < lw.Filters; f0 += cfg.FiltersPerTile {
@@ -73,29 +75,37 @@ func TestDepthwiseNotRowInvariant(t *testing.T) {
 
 // TestPlaneCacheSharing exercises the cache across the dimensions of its
 // key: same (layer, back-end, width) hits; different back-end, width, or
-// activations miss.
+// activations miss — including a plugin back-end the engine packages never
+// name, which must key distinct planes at the same width.
 func TestPlaneCacheSharing(t *testing.T) {
 	c := NewPlaneCache(0)
 	lw := testFC(t, 25, 20, 40, 18, 0.7)
 	lw2 := testFC(t, 26, 20, 40, 18, 0.7) // same geometry, different values
-	ctE := newCostTable(arch.TCLe, fixed.W16)
-	ctP := newCostTable(arch.TCLp, fixed.W16)
-	ctE8 := newCostTable(arch.TCLe, fixed.W8)
+	beE, beP := arch.TCLe.Impl(), arch.TCLp.Impl()
+	beSM := backend.MustLookup(dstripes.Name)
+	ctE := newCostTable(beE, fixed.W16)
+	ctP := newCostTable(beP, fixed.W16)
+	ctE8 := newCostTable(beE, fixed.W8)
+	ctSM := newCostTable(beSM, fixed.W16)
 
-	p1 := c.get(lw, arch.TCLe, fixed.W16, ctE)
-	p2 := c.get(lw, arch.TCLe, fixed.W16, ctE)
+	p1 := c.get(lw, beE, fixed.W16, ctE)
+	p2 := c.get(lw, beE, fixed.W16, ctE)
 	if p1 != p2 {
 		t.Fatal("identical key returned distinct planes")
 	}
 	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
 		t.Fatalf("after repeat get: %+v, want 1 hit / 1 miss", st)
 	}
-	c.get(lw, arch.TCLp, fixed.W16, ctP)  // back-end differs
-	c.get(lw, arch.TCLe, fixed.W8, ctE8)  // width differs
-	c.get(lw2, arch.TCLe, fixed.W16, ctE) // activations differ
+	c.get(lw, beP, fixed.W16, ctP)  // back-end differs
+	c.get(lw, beE, fixed.W8, ctE8)  // width differs
+	c.get(lw2, beE, fixed.W16, ctE) // activations differ
+	pSM := c.get(lw, beSM, fixed.W16, ctSM)
+	if pP := c.get(lw, beP, fixed.W16, ctP); pSM == pP {
+		t.Fatal("plugin back-end collided with TCLp at identical width")
+	}
 	st := c.Stats()
-	if st.Hits != 1 || st.Misses != 4 || st.Entries != 4 {
-		t.Fatalf("after distinct keys: %+v, want 1 hit / 4 misses / 4 entries", st)
+	if st.Hits != 2 || st.Misses != 5 || st.Entries != 5 {
+		t.Fatalf("after distinct keys: %+v, want 2 hits / 5 misses / 5 entries", st)
 	}
 	if st.Bytes == 0 {
 		t.Fatal("cache reports zero resident bytes")
@@ -111,11 +121,12 @@ func TestPlaneCacheSharing(t *testing.T) {
 // only the inserting entry and counts the rest as evictions.
 func TestPlaneCacheEviction(t *testing.T) {
 	lw := testFC(t, 27, 20, 40, 18, 0.7)
-	ct := newCostTable(arch.TCLe, fixed.W16)
+	beE, beP := arch.TCLe.Impl(), arch.TCLp.Impl()
+	ct := newCostTable(beE, fixed.W16)
 	one := buildPlane(lw, ct).sizeBytes()
 	c := NewPlaneCache(one + one/2) // fits one plane, not two
-	c.get(lw, arch.TCLe, fixed.W16, ct)
-	c.get(lw, arch.TCLp, fixed.W16, newCostTable(arch.TCLp, fixed.W16))
+	c.get(lw, beE, fixed.W16, ct)
+	c.get(lw, beP, fixed.W16, newCostTable(beP, fixed.W16))
 	st := c.Stats()
 	if st.Evictions != 1 || st.Entries != 1 {
 		t.Fatalf("after overflow: %+v, want 1 eviction / 1 resident entry", st)
@@ -140,6 +151,12 @@ func TestSimulateUsesSharedPlaneCache(t *testing.T) {
 	SimulateLayerOpts(arch.NewTCL(sched.L(1, 6), arch.TCLe), lw, Options{})
 	if st := SharedPlanes.Stats(); st.Hits != 1 || st.Misses != 1 {
 		t.Fatalf("after second run: %+v, want 1 hit / 1 miss", st)
+	}
+	// A plugin back-end at the same width must key its own plane, not hit
+	// the TCLe entry.
+	SimulateLayerOpts(arch.NewTCLBackend(sched.T(2, 5), backend.MustLookup(dstripes.Name)), lw, Options{})
+	if st := SharedPlanes.Stats(); st.Hits != 1 || st.Misses != 2 || st.Entries != 2 {
+		t.Fatalf("after plugin run: %+v, want 1 hit / 2 misses / 2 entries", st)
 	}
 }
 

@@ -4,7 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"bittactical/internal/arch"
+	"bittactical/internal/backend"
 	"bittactical/internal/fixed"
 	"bittactical/internal/metrics"
 	"bittactical/internal/nn"
@@ -47,10 +47,13 @@ type planeEntry struct {
 
 // planeKey identifies one (layer activations+geometry, back-end, width)
 // triple. Two independent 64-bit hash streams over the full content make an
-// accidental collision implausible at any realistic cache size.
+// accidental collision implausible at any realistic cache size. The
+// back-end rides in the key by registry name, in the clear: any two
+// registered back-ends — including plugins the engine has never heard of —
+// key distinct planes at the same width.
 type planeKey struct {
 	h1, h2 uint64
-	be     arch.BackEnd
+	be     string
 	width  fixed.Width
 }
 
@@ -87,7 +90,7 @@ const (
 // planeKeyOf hashes everything the plane build reads: the back-end and
 // width (in the clear), the lowering geometry, the layer parameters the
 // coords/Act mapping consults, and the full input activation tensor.
-func planeKeyOf(lw *nn.Lowered, be arch.BackEnd, w fixed.Width) planeKey {
+func planeKeyOf(lw *nn.Lowered, be backend.Backend, w fixed.Width) planeKey {
 	h1, h2 := uint64(planeFNVOffset), uint64(5381)
 	mix := func(v int64) {
 		for i := 0; i < 8; i++ {
@@ -114,13 +117,13 @@ func planeKeyOf(lw *nn.Lowered, be arch.BackEnd, w fixed.Width) planeKey {
 	for _, v := range in.Data {
 		mix(int64(v))
 	}
-	return planeKey{h1: h1, h2: h2, be: be, width: w}
+	return planeKey{h1: h1, h2: h2, be: be.Name(), width: w}
 }
 
 // get returns the memoized plane for (lw, be, w), building and storing it
 // on first use. ct must be the cost table of (be, w); it is consulted only
 // on a fill.
-func (c *PlaneCache) get(lw *nn.Lowered, be arch.BackEnd, w fixed.Width, ct *costTable) *costPlane {
+func (c *PlaneCache) get(lw *nn.Lowered, be backend.Backend, w fixed.Width, ct *costTable) *costPlane {
 	key := planeKeyOf(lw, be, w)
 	c.mu.Lock()
 	e, ok := c.m[key]

@@ -137,7 +137,7 @@ func (cw *configWork) planeFor(li int, pc *PlaneCache) *costPlane {
 	s := &cw.planes[li]
 	s.once.Do(func() {
 		if pc != nil {
-			s.plane = pc.get(cw.lws[li], cw.cfg.BackEnd, cw.cfg.Width, cw.ct)
+			s.plane = pc.get(cw.lws[li], cw.cfg.Backend, cw.cfg.Width, cw.ct)
 		} else {
 			s.plane = buildPlane(cw.lws[li], cw.ct)
 		}
@@ -201,7 +201,7 @@ func simulateSweep(ctx context.Context, cfgs []arch.Config, lwss [][]*nn.Lowered
 		cw := &configWork{
 			cfg:            cfg,
 			lws:            lws,
-			ct:             newCostTable(cfg.BackEnd, cfg.Width),
+			ct:             newCostTable(cfg.Backend, cfg.Width),
 			pads:           make([][]bool, len(lws)),
 			planes:         make([]planeSlot, len(lws)),
 			accums:         make([][]groupAccum, len(lws)),
@@ -215,7 +215,7 @@ func simulateSweep(ctx context.Context, cfgs []arch.Config, lwss [][]*nn.Lowered
 		// whose per-window evaluation dominates (the bit-parallel path is
 		// already window-independent and cheap).
 		chunksPerGroup := 1
-		if cfg.BackEnd != arch.BitParallel && totalGroups > 0 && totalGroups < workers {
+		if cfg.Serial() && totalGroups > 0 && totalGroups < workers {
 			chunksPerGroup = (workers + totalGroups - 1) / totalGroups
 		}
 		for li, lw := range lws {
@@ -477,7 +477,7 @@ func prepareGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f0
 	r.activity.MuxSelects += muxSelects(cfg, schedules, W)
 	r.activity.PsumAccesses += int64(nrows) * int64(cols) * int64(W)
 
-	if cfg.BackEnd == arch.BitParallel {
+	if !cfg.Serial() {
 		var macs int64
 		if cfg.HasFrontEnd() {
 			for _, s := range schedules {
@@ -498,7 +498,7 @@ func prepareGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f0
 		return ctx
 	}
 	ctx.needsWindows = true
-	if cfg.BackEnd == arch.TCLe {
+	if cfg.Backend.OffsetEncoder() {
 		r.activity.OffsetEncodes += int64(cols) * int64(lanes) * int64(W)
 	}
 

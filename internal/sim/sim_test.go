@@ -331,7 +331,7 @@ func TestSimulateModelRejectsInvalidConfig(t *testing.T) {
 }
 
 func TestCostTableValues(t *testing.T) {
-	e := newCostTable(arch.TCLe, fixed.W16)
+	e := newCostTable(arch.TCLe.Impl(), fixed.W16)
 	if e.cost(0x008F) != 3 {
 		t.Errorf("TCLe cost(0x8F) = %d, want 3", e.cost(0x008F))
 	}
@@ -341,15 +341,15 @@ func TestCostTableValues(t *testing.T) {
 	if e.cost(-1) != 1 {
 		t.Errorf("TCLe cost(-1) = %d, want 1", e.cost(-1))
 	}
-	p := newCostTable(arch.TCLp, fixed.W16)
+	p := newCostTable(arch.TCLp.Impl(), fixed.W16)
 	if p.cost(0x008E) != 7 {
 		t.Errorf("TCLp cost(0x8E) = %d, want 7", p.cost(0x008E))
 	}
-	bp := newCostTable(arch.BitParallel, fixed.W16)
+	bp := newCostTable(arch.BitParallel.Impl(), fixed.W16)
 	if bp.cost(12345) != 1 || bp.cost(0) != 1 {
 		t.Error("bit-parallel cost must be 1 for all values")
 	}
-	e8 := newCostTable(arch.TCLe, fixed.W8)
+	e8 := newCostTable(arch.TCLe.Impl(), fixed.W8)
 	if e8.cost(127) != 2 { // 127 = +128-1
 		t.Errorf("8b TCLe cost(127) = %d, want 2", e8.cost(127))
 	}
