@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check lint-backend serve-smoke bench bench-sim bench-sched bench-kernel fuzz-sched fuzz-kernel fmt clean
+.PHONY: all build vet test race check lint-backend serve-smoke bench bench-gate bench-sim bench-sched bench-kernel fuzz-sched fuzz-kernel fmt clean
 
 all: check
 
@@ -16,10 +16,20 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The pre-commit gate: compile everything, vet, lint the back-end seam, and
-# run the full suite under the race detector (the parallel engine is on by
-# default, so every test doubles as a race test).
-check: build vet lint-backend race
+# The pre-commit gate: compile everything, vet, lint the back-end seam, run
+# the full suite under the race detector (the parallel engine is on by
+# default, so every test doubles as a race test), and hold the committed
+# benchmark baselines.
+check: build vet lint-backend race bench-gate
+
+# The benchmark regression gate: re-measure the kernel, scheduler, and
+# engine suites and compare against the committed BENCH_*.json baselines.
+# allocs/op gates on every host; ns/op only against a baseline recorded at
+# the same GOMAXPROCS with neither side contended. Exits 1 on any >10%
+# regression (tune with THRESHOLD=0.05 etc.).
+THRESHOLD ?= 0.10
+bench-gate:
+	$(GO) run ./cmd/tclbench -compare -threshold $(THRESHOLD)
 
 # Guard the back-end seam: all serial-cost semantics live behind the
 # internal/backend registry. Any switch arm on a back-end kind outside that
@@ -44,19 +54,24 @@ serve-smoke:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$'
 
+# Baseline regeneration. A contended run (requested parallelism beyond
+# GOMAXPROCS) refuses to overwrite an existing baseline; pass FORCE=1 to
+# override with the contamination recorded honestly in the file.
+FORCE ?=
+
 # Regenerate BENCH_sim.json: fig8/fig11 ns/op at Parallelism 1 and 8.
 bench-sim:
-	TCL_BENCH_SIM=1 $(GO) test -run TestEmitBenchSim -v -timeout 60m
+	TCL_BENCH_SIM=1 TCL_BENCH_FORCE=$(FORCE) $(GO) test -run TestEmitBenchSim -v -timeout 60m
 
 # Regenerate BENCH_sched.json: scheduler kernel vs reference ns/op and
 # allocs/op across the Table-2 pattern x algorithm sweep.
 bench-sched:
-	TCL_BENCH_SCHED=1 $(GO) test ./internal/sched -run TestEmitBenchSched -v -timeout 30m
+	TCL_BENCH_SCHED=1 TCL_BENCH_FORCE=$(FORCE) $(GO) test ./internal/sched -run TestEmitBenchSched -v -timeout 30m
 
 # Regenerate BENCH_kernel.json: SWAR vs scalar column-max ns/op and
 # allocs/op per lane count.
 bench-kernel:
-	TCL_BENCH_KERNEL=1 $(GO) test ./internal/sim -run TestEmitBenchKernel -v -timeout 10m
+	TCL_BENCH_KERNEL=1 TCL_BENCH_FORCE=$(FORCE) $(GO) test ./internal/sim -run TestEmitBenchKernel -v -timeout 10m
 
 # Differential fuzz of the optimized scheduling kernel against the reference
 # implementation (FUZZTIME defaults to 30s; raise for soak runs).

@@ -8,18 +8,14 @@
 package bittactical_test
 
 import (
-	"encoding/json"
 	"os"
-	"runtime"
 	"strconv"
 	"strings"
 	"testing"
-	"time"
 
+	"bittactical/internal/bench"
 	"bittactical/internal/experiments"
 	"bittactical/internal/nn"
-	"bittactical/internal/sched"
-	"bittactical/internal/sim"
 )
 
 // benchOptions sizes the zoo so the full suite completes in minutes while
@@ -142,97 +138,20 @@ func BenchmarkFig13(b *testing.B) {
 	runExperiment(b, "fig13", rowMetric("TCLe<2,5>", "tcle-8b-speedup"))
 }
 
-// TestEmitBenchSim measures the fig8/fig11 experiment runners at
-// Parallelism 1 and 8 with testing.Benchmark and records ns/op in
-// BENCH_sim.json, the committed wall-time baseline for the simulation
-// engine. Gated behind TCL_BENCH_SIM=1 (or `make bench-sim`) so ordinary
-// test runs stay fast; the shared schedule cache is reset before every
-// measurement so each configuration pays its own scheduling cost.
+// TestEmitBenchSim regenerates BENCH_sim.json through the shared
+// internal/bench sim suite (fig8/fig11 runners at parallelism 1 and 8,
+// caches reset per iteration). Gated behind TCL_BENCH_SIM=1 (`make
+// bench-sim`); a contended run refuses to overwrite the committed
+// baseline unless TCL_BENCH_FORCE=1 (`make bench-sim FORCE=1`).
 func TestEmitBenchSim(t *testing.T) {
 	if os.Getenv("TCL_BENCH_SIM") == "" {
 		t.Skip("set TCL_BENCH_SIM=1 to regenerate BENCH_sim.json")
 	}
-	type record struct {
-		ID          string  `json:"id"`
-		Parallelism int     `json:"parallelism"`
-		GoMaxProcs  int     `json:"go_max_procs"`
-		NsPerOp     int64   `json:"ns_per_op"`
-		AllocsPerOp int64   `json:"allocs_per_op"`
-		Iterations  int     `json:"iterations"`
-		Speedup     float64 `json:"speedup_vs_serial,omitempty"`
-		// Contended marks measurements whose requested parallelism exceeds
-		// the host's GOMAXPROCS: the workers time-slice one core, so the
-		// number is the serial engine plus scheduling overhead, not a
-		// parallel-engine figure. Tooling comparing runs should skip them.
-		Contended bool `json:"contended,omitempty"`
-	}
-	// A worker pool cannot run faster than the scheduler lets it: when
-	// GOMAXPROCS is 1 (single-core hosts, constrained containers) the j=8
-	// measurement is the serial engine plus goroutine overhead, and a
-	// "speedup" derived from it is noise. Record the effective GOMAXPROCS on
-	// every measurement, tag over-subscribed rows contended, and emit
-	// speedup_vs_serial only when the host could actually run workers
-	// concurrently.
-	concurrent := runtime.GOMAXPROCS(0) > 1
-	out := struct {
-		Generated  string   `json:"generated"`
-		GoMaxProcs int      `json:"go_max_procs"`
-		NumCPU     int      `json:"num_cpu"`
-		Zoo        string   `json:"zoo"`
-		Note       string   `json:"note,omitempty"`
-		Benchmarks []record `json:"benchmarks"`
-	}{
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		Zoo:        "channel scale 0.125, spatial scale 0.35, 25 trials",
-	}
-	if !concurrent {
-		out.Note = "GOMAXPROCS=1: parallel runs cannot overlap on this host; speedup_vs_serial suppressed"
-	}
-	serialNs := map[string]int64{}
-	for _, id := range []string{"fig8a", "fig8b", "fig11a", "fig11b"} {
-		run := experiments.Registry[id]
-		if run == nil {
-			t.Fatalf("unknown experiment %q", id)
-		}
-		for _, par := range []int{1, 8} {
-			opts := benchOptions()
-			opts.Parallelism = par
-			r := testing.Benchmark(func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					// Each configuration pays its own schedule and plane
-					// builds: reset both shared caches per iteration.
-					sched.Shared.Reset()
-					sim.SharedPlanes.Reset()
-					if _, err := run(opts); err != nil {
-						b.Fatal(err)
-					}
-				}
-			})
-			rec := record{
-				ID: id, Parallelism: par,
-				GoMaxProcs:  runtime.GOMAXPROCS(0),
-				NsPerOp:     r.NsPerOp(),
-				AllocsPerOp: int64(r.AllocsPerOp()),
-				Iterations:  r.N,
-				Contended:   par > runtime.GOMAXPROCS(0),
-			}
-			if par == 1 {
-				serialNs[id] = r.NsPerOp()
-			} else if s := serialNs[id]; concurrent && s > 0 && r.NsPerOp() > 0 {
-				rec.Speedup = float64(s) / float64(r.NsPerOp())
-			}
-			out.Benchmarks = append(out.Benchmarks, rec)
-			t.Logf("%s j=%d: %d ns/op (%d iters)", id, par, r.NsPerOp(), r.N)
-		}
-	}
-	buf, err := json.MarshalIndent(out, "", "  ")
+	f, err := bench.RunSim(t.Logf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile("BENCH_sim.json", append(buf, '\n'), 0o644); err != nil {
+	if err := bench.WriteBaseline("BENCH_sim.json", f, os.Getenv("TCL_BENCH_FORCE") != ""); err != nil {
 		t.Fatal(err)
 	}
 }

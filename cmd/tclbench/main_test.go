@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bittactical/internal/bench"
+)
+
+func writeFile(t *testing.T, dir, name string, recs ...bench.Record) {
+	t.Helper()
+	f := &bench.File{Schema: bench.Schema, GoMaxProcs: 1, NumCPU: 1, Benchmarks: recs}
+	if err := f.Write(filepath.Join(dir, name)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func r(id string, ns float64, allocs int64) bench.Record {
+	return bench.Record{ID: id, GoMaxProcs: 1, NsPerOp: ns, AllocsPerOp: allocs, Iterations: 1}
+}
+
+// fixture lays out matching baseline and current directories covering all
+// three suites, with the kernel suite carrying the interesting rows.
+func fixture(t *testing.T, kernelBase, kernelCur bench.Record) (baseDir, curDir string) {
+	t.Helper()
+	baseDir, curDir = t.TempDir(), t.TempDir()
+	for _, d := range []string{baseDir, curDir} {
+		writeFile(t, d, "BENCH_sched.json", r("sched/L4<1,2>/algorithm1/kernel", 500, 0))
+		writeFile(t, d, "BENCH_sim.json", r("fig8a/j1", 1e9, 50000))
+	}
+	writeFile(t, baseDir, "BENCH_kernel.json", kernelBase)
+	writeFile(t, curDir, "BENCH_kernel.json", kernelCur)
+	return baseDir, curDir
+}
+
+// TestGateFailsOnInjectedRegression is the end-to-end negative test the
+// issue requires: a deliberately injected >10% regression must exit 1.
+func TestGateFailsOnInjectedRegression(t *testing.T) {
+	baseDir, curDir := fixture(t,
+		r("kernel/lanes=16/swar", 100, 0),
+		r("kernel/lanes=16/swar", 120, 0)) // 20% slower
+	var out, errOut bytes.Buffer
+	code := run([]string{"-compare", "-dir", baseDir, "-current", curDir}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "kernel/lanes=16/swar") || !strings.Contains(errOut.String(), "ns/op") {
+		t.Fatalf("failure not attributed: %s", errOut.String())
+	}
+}
+
+// TestGatePassesWithinThreshold: the same layout inside threshold exits 0.
+func TestGatePassesWithinThreshold(t *testing.T) {
+	baseDir, curDir := fixture(t,
+		r("kernel/lanes=16/swar", 100, 0),
+		r("kernel/lanes=16/swar", 105, 0))
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-compare", "-dir", baseDir, "-current", curDir}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d, want 0\nstderr: %s", code, errOut.String())
+	}
+}
+
+// TestGateIDFilter: -ids restricts which baseline rows gate, so a
+// regression outside the filter is ignored and one inside still fails.
+func TestGateIDFilter(t *testing.T) {
+	baseDir, curDir := fixture(t,
+		r("kernel/lanes=16/swar", 100, 0),
+		r("kernel/lanes=16/swar", 200, 0))
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-compare", "-dir", baseDir, "-current", curDir, "-ids", "fig8a,sched/"}, &out, &errOut); code != 0 {
+		t.Fatalf("filtered-out regression still failed: %s", errOut.String())
+	}
+	if code := run([]string{"-compare", "-dir", baseDir, "-current", curDir, "-ids", "kernel/"}, &out, &errOut); code != 1 {
+		t.Fatalf("filtered-in regression passed")
+	}
+}
+
+// TestGateSuiteRestriction: -suite compares only that suite's file.
+func TestGateSuiteRestriction(t *testing.T) {
+	baseDir, curDir := fixture(t,
+		r("kernel/lanes=16/swar", 100, 0),
+		r("kernel/lanes=16/swar", 200, 0))
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-compare", "-suite", "sim", "-dir", baseDir, "-current", curDir}, &out, &errOut); code != 0 {
+		t.Fatalf("sim-only compare hit the kernel regression: %s", errOut.String())
+	}
+	if code := run([]string{"-compare", "-suite", "kernel", "-dir", baseDir, "-current", curDir}, &out, &errOut); code != 1 {
+		t.Fatalf("kernel-only compare missed the regression")
+	}
+	if code := run([]string{"-compare", "-suite", "nope", "-dir", baseDir}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown suite not a usage error")
+	}
+}
+
+// TestGateMissingRowFails: dropping a benchmark from the current run is a
+// gate failure, not a silent pass.
+func TestGateMissingRowFails(t *testing.T) {
+	baseDir, curDir := fixture(t,
+		r("kernel/lanes=16/swar", 100, 0),
+		r("kernel/lanes=32/swar", 100, 0)) // different ID: 16-lane row missing
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-compare", "-suite", "kernel", "-dir", baseDir, "-current", curDir}, &out, &errOut); code != 1 {
+		t.Fatalf("missing baseline row passed the gate")
+	}
+	if !strings.Contains(errOut.String(), "missing") {
+		t.Fatalf("missing row not reported: %s", errOut.String())
+	}
+}
+
+// TestRetryMerge pins the noise-retry helpers: only all-ns failures
+// qualify for a re-measure, and the merge keeps the fastest time per
+// record while never touching allocation counts.
+func TestRetryMerge(t *testing.T) {
+	nsReg := bench.Result{Regressions: []bench.Regression{{ID: "a", Metric: "ns/op"}}}
+	allocReg := bench.Result{Regressions: []bench.Regression{
+		{ID: "a", Metric: "ns/op"}, {ID: "b", Metric: "allocs/op"},
+	}}
+	if !nsOnly(nsReg) || nsOnly(allocReg) || nsOnly(bench.Result{}) {
+		t.Fatal("nsOnly misclassifies")
+	}
+
+	cur := &bench.File{Benchmarks: []bench.Record{r("a", 200, 10), r("b", 100, 10)}}
+	again := &bench.File{Benchmarks: []bench.Record{
+		{ID: "a", GoMaxProcs: 1, NsPerOp: 150, AllocsPerOp: 99},
+		{ID: "b", GoMaxProcs: 1, NsPerOp: 300, AllocsPerOp: 10},
+	}}
+	mergeBestNs(cur, again)
+	if cur.Benchmarks[0].NsPerOp != 150 || cur.Benchmarks[0].AllocsPerOp != 10 {
+		t.Fatalf("record a after merge: %+v, want ns 150 / allocs 10", cur.Benchmarks[0])
+	}
+	if cur.Benchmarks[1].NsPerOp != 100 {
+		t.Fatalf("record b took the slower re-measure: %+v", cur.Benchmarks[1])
+	}
+}
+
+// TestUsageErrors: no action and unparseable flags are usage errors.
+func TestUsageErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run(nil, &out, &errOut); code != 2 {
+		t.Fatalf("no-op invocation exit %d, want 2", code)
+	}
+	if code := run([]string{"-threshold", "x"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag exit %d, want 2", code)
+	}
+}

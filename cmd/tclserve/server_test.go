@@ -133,8 +133,9 @@ func TestSimulatePlaneCacheSharing(t *testing.T) {
 		t.Fatalf("/v1/simulate = %d: %s", rec.Code, rec.Body.String())
 	}
 
-	// The request's model, rebuilt to count which layers are plane-eligible
-	// (AlexNet-ES has grouped convs, which are row-variant and planeless).
+	// The request's model, rebuilt to count plane units: one per act group
+	// per layer (AlexNet-ES has grouped convs, which build one plane per
+	// filter group instead of one per layer).
 	zoo := nn.DefaultZoo()
 	zoo.ChannelScale, zoo.SpatialScale = 0.1, 0.25
 	m, err := nn.BuildModel("AlexNet-ES", zoo)
@@ -145,21 +146,28 @@ func TestSimulatePlaneCacheSharing(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rowInv := 0
+	planeUnits, groupUnits := 0, 0
 	for _, lw := range lws {
-		if lw.ActRowInvariant() {
-			rowInv++
+		planeUnits += lw.ActGroups()
+		if lw.ActGroups() > 1 {
+			groupUnits += lw.ActGroups()
 		}
 	}
-	if rowInv == 0 {
-		t.Fatal("model has no row-invariant layers; test is vacuous")
+	if planeUnits == len(lws) {
+		t.Fatal("model has no grouped layers; test is vacuous")
 	}
 	st := sim.SharedPlanes.Stats()
-	if st.Misses != int64(2*rowInv) {
-		t.Errorf("plane cache misses = %d, want %d (one build per row-invariant layer per back-end)", st.Misses, 2*rowInv)
+	if st.Misses != int64(2*planeUnits) {
+		t.Errorf("plane cache misses = %d, want %d (one build per act group per back-end)", st.Misses, 2*planeUnits)
 	}
-	if st.Hits < int64(rowInv) {
-		t.Errorf("plane cache hits = %d, want >= %d (second TCLe config reuses every plane)", st.Hits, rowInv)
+	if st.Hits < int64(planeUnits) {
+		t.Errorf("plane cache hits = %d, want >= %d (second TCLe config reuses every plane)", st.Hits, planeUnits)
+	}
+	if st.GroupBuilds != int64(2*groupUnits) {
+		t.Errorf("grouped plane builds = %d, want %d (grouped convs take the plane path)", st.GroupBuilds, 2*groupUnits)
+	}
+	if st.GroupHits < int64(groupUnits) {
+		t.Errorf("grouped plane hits = %d, want >= %d", st.GroupHits, groupUnits)
 	}
 
 	mrec := getPath(t, h, "/metrics")
@@ -171,10 +179,13 @@ func TestSimulatePlaneCacheSharing(t *testing.T) {
 		t.Fatalf("/metrics is not JSON: %v", err)
 	}
 	for name, want := range map[string]int64{
-		"sim_plane_hits":    st.Hits,
-		"sim_plane_misses":  st.Misses,
-		"sim_plane_entries": int64(st.Entries),
-		"sim_plane_bytes":   st.Bytes,
+		"sim_plane_hits":            st.Hits,
+		"sim_plane_misses":          st.Misses,
+		"sim_plane_entries":         int64(st.Entries),
+		"sim_plane_bytes":           st.Bytes,
+		"sim_plane_group_builds":    st.GroupBuilds,
+		"sim_plane_group_hits":      st.GroupHits,
+		"sim_plane_group_evictions": st.GroupEvictions,
 	} {
 		var v int64
 		if err := json.Unmarshal(snap[name], &v); err != nil {

@@ -139,6 +139,8 @@ func main() {
 		}
 		fmt.Printf("plane cache: %d hits / %d misses (%.1f%% hit rate), %d evictions, %d resident entries (%.1f MiB)\n",
 			st.Hits, st.Misses, rate, st.Evictions, st.Entries, float64(st.Bytes)/(1<<20))
+		fmt.Printf("grouped planes: %d builds / %d hits / %d evictions\n",
+			st.GroupBuilds, st.GroupHits, st.GroupEvictions)
 	}
 	if *mstats {
 		if err := metrics.Default.WriteJSON(os.Stdout); err != nil {

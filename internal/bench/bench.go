@@ -1,0 +1,189 @@
+// Package bench is the repo's benchmark baseline format and regression
+// gate. One schema covers the three committed baselines — BENCH_sim.json
+// (experiment runners through the engine), BENCH_sched.json (scheduling
+// kernel vs reference), BENCH_kernel.json (SWAR column-max vs scalar) —
+// and one comparison policy decides what counts as a regression:
+//
+//   - allocs/op compares everywhere: allocation counts are a property of
+//     the code, not the host, so a >threshold growth fails the gate on any
+//     machine, and a baseline of zero allocations must stay zero.
+//   - ns/op compares only between runs of the same effective parallelism
+//     (equal GOMAXPROCS) where neither side is contended; wall time
+//     measured on a different host shape is noise, not signal.
+//
+// Baselines additionally refuse to be overwritten by a contended run
+// (requested parallelism above the host's GOMAXPROCS) unless forced:
+// a contended measurement is the serial engine plus scheduling overhead
+// and would poison every later comparison.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Schema identifies the baseline layout; bump when Record changes shape.
+const Schema = 2
+
+// Record is one benchmark measurement.
+type Record struct {
+	// ID uniquely names the measurement within its file, e.g.
+	// "fig8a/j1", "sched/T8<2,5>/algorithm1/kernel", "kernel/lanes=16/swar".
+	ID string `json:"id"`
+	// Parallelism is the requested worker parallelism (engine suites; 0
+	// when the benchmark has no worker pool).
+	Parallelism int `json:"parallelism,omitempty"`
+	// GoMaxProcs is the effective GOMAXPROCS during this measurement.
+	GoMaxProcs  int     `json:"go_max_procs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// WallNs and CPUNs are the totals over all iterations: wall clock and
+	// process CPU time consumed. CPUNs > WallNs means real parallelism;
+	// CPUNs ≈ WallNs on a serial or contended run.
+	WallNs     int64 `json:"wall_ns"`
+	CPUNs      int64 `json:"cpu_ns"`
+	Iterations int   `json:"iterations"`
+	// Speedup is ns/op of the suite's serial row over this row, emitted
+	// only when the host could actually run workers concurrently.
+	Speedup float64 `json:"speedup_vs_serial,omitempty"`
+	// Contended marks measurements whose requested parallelism exceeds
+	// GOMAXPROCS: workers time-slice cores, so ns/op is not comparable.
+	Contended bool `json:"contended,omitempty"`
+}
+
+// File is one committed baseline.
+type File struct {
+	Schema     int      `json:"schema"`
+	Generated  string   `json:"generated"`
+	GoMaxProcs int      `json:"go_max_procs"`
+	NumCPU     int      `json:"num_cpu"`
+	Context    string   `json:"context,omitempty"`
+	Note       string   `json:"note,omitempty"`
+	Benchmarks []Record `json:"benchmarks"`
+}
+
+// Contended reports whether any measurement in the file is contended.
+func (f *File) Contended() bool {
+	for _, r := range f.Benchmarks {
+		if r.Contended {
+			return true
+		}
+	}
+	return false
+}
+
+// Load reads a baseline file.
+func Load(path string) (*File, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// Write stores the file unconditionally.
+func (f *File) Write(path string) error {
+	buf, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// WriteBaseline stores f at path, refusing to overwrite an existing
+// baseline with a contended run unless force is set. A fresh path (no
+// baseline yet) always writes, but the contended taint is still recorded
+// in the file for Compare to see.
+func WriteBaseline(path string, f *File, force bool) error {
+	if !force && f.Contended() {
+		if _, err := os.Stat(path); err == nil {
+			return fmt.Errorf("bench: refusing to overwrite %s with a contended run (parallelism beyond GOMAXPROCS=%d); rerun on a bigger host or pass -force", path, f.GoMaxProcs)
+		}
+	}
+	return f.Write(path)
+}
+
+// Regression is one gate failure: a current metric more than threshold
+// above its baseline.
+type Regression struct {
+	ID       string
+	Metric   string // "ns/op" or "allocs/op"
+	Baseline float64
+	Current  float64
+	Ratio    float64 // Current / Baseline (+Inf for a zero baseline)
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (%.2fx)", r.ID, r.Metric, r.Baseline, r.Current, r.Ratio)
+}
+
+// Result is the outcome of one baseline comparison.
+type Result struct {
+	Regressions []Regression
+	// SkippedNs lists IDs whose ns/op comparison was skipped under the
+	// matching-host policy (GOMAXPROCS mismatch or a contended side).
+	SkippedNs []string
+	// Missing lists baseline IDs absent from the current run — a silently
+	// dropped benchmark must not pass the gate.
+	Missing []string
+}
+
+// Fail reports whether the gate should fail: any regression or any
+// baseline measurement missing from the current run.
+func (r Result) Fail() bool { return len(r.Regressions) > 0 || len(r.Missing) > 0 }
+
+// Compare applies the gate policy to a current run against its baseline.
+// threshold is fractional: 0.10 fails anything more than 10% worse.
+func Compare(baseline, current *File, threshold float64) Result {
+	var res Result
+	cur := make(map[string]Record, len(current.Benchmarks))
+	for _, r := range current.Benchmarks {
+		cur[r.ID] = r
+	}
+	for _, b := range baseline.Benchmarks {
+		c, ok := cur[b.ID]
+		if !ok {
+			res.Missing = append(res.Missing, b.ID)
+			continue
+		}
+		// Allocation counts are host-independent; a zero baseline is a
+		// zero-alloc guarantee and any allocation at all breaks it.
+		switch {
+		case b.AllocsPerOp == 0 && c.AllocsPerOp > 0:
+			res.Regressions = append(res.Regressions, Regression{
+				ID: b.ID, Metric: "allocs/op",
+				Baseline: 0, Current: float64(c.AllocsPerOp),
+				Ratio: float64(c.AllocsPerOp),
+			})
+		case float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*(1+threshold):
+			res.Regressions = append(res.Regressions, Regression{
+				ID: b.ID, Metric: "allocs/op",
+				Baseline: float64(b.AllocsPerOp), Current: float64(c.AllocsPerOp),
+				Ratio: float64(c.AllocsPerOp) / float64(b.AllocsPerOp),
+			})
+		}
+		if b.Contended || c.Contended || b.GoMaxProcs != c.GoMaxProcs {
+			res.SkippedNs = append(res.SkippedNs, b.ID)
+		} else if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+threshold) {
+			res.Regressions = append(res.Regressions, Regression{
+				ID: b.ID, Metric: "ns/op",
+				Baseline: b.NsPerOp, Current: c.NsPerOp,
+				Ratio: c.NsPerOp / b.NsPerOp,
+			})
+		}
+	}
+	sort.Slice(res.Regressions, func(i, j int) bool {
+		a, b := res.Regressions[i], res.Regressions[j]
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		return a.Metric < b.Metric
+	})
+	return res
+}

@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"math"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func file(recs ...Record) *File {
+	return &File{Schema: Schema, GoMaxProcs: 1, NumCPU: 1, Benchmarks: recs}
+}
+
+func rec(id string, ns float64, allocs int64) Record {
+	return Record{ID: id, GoMaxProcs: 1, NsPerOp: ns, AllocsPerOp: allocs, Iterations: 1}
+}
+
+// TestCompareInjectedRegression is the gate's negative test: a current
+// run deliberately >10% worse than baseline on either metric must fail.
+func TestCompareInjectedRegression(t *testing.T) {
+	base := file(rec("fig8a/j1", 1000, 100))
+
+	// 11% slower: ns/op regression.
+	res := Compare(base, file(rec("fig8a/j1", 1110, 100)), 0.10)
+	if !res.Fail() || len(res.Regressions) != 1 || res.Regressions[0].Metric != "ns/op" {
+		t.Fatalf("11%% ns regression not caught: %+v", res)
+	}
+	if got := res.Regressions[0].Ratio; math.Abs(got-1.11) > 1e-9 {
+		t.Fatalf("ratio = %v, want 1.11", got)
+	}
+
+	// 11% more allocations: allocs/op regression.
+	res = Compare(base, file(rec("fig8a/j1", 1000, 111)), 0.10)
+	if !res.Fail() || len(res.Regressions) != 1 || res.Regressions[0].Metric != "allocs/op" {
+		t.Fatalf("11%% alloc regression not caught: %+v", res)
+	}
+
+	// Exactly at threshold passes; just under passes.
+	res = Compare(base, file(rec("fig8a/j1", 1100, 110)), 0.10)
+	if res.Fail() {
+		t.Fatalf("at-threshold run failed the gate: %+v", res.Regressions)
+	}
+}
+
+// TestCompareZeroAllocBaseline: a zero-alloc baseline is a guarantee —
+// any allocation at all is a regression regardless of threshold.
+func TestCompareZeroAllocBaseline(t *testing.T) {
+	base := file(rec("sched/L4<1,2>/algorithm1/kernel", 500, 0))
+	res := Compare(base, file(rec("sched/L4<1,2>/algorithm1/kernel", 500, 1)), 0.10)
+	if !res.Fail() || len(res.Regressions) != 1 || res.Regressions[0].Metric != "allocs/op" {
+		t.Fatalf("zero-alloc violation not caught: %+v", res)
+	}
+	res = Compare(base, file(rec("sched/L4<1,2>/algorithm1/kernel", 500, 0)), 0.10)
+	if res.Fail() {
+		t.Fatalf("zero-alloc hold failed the gate: %+v", res.Regressions)
+	}
+}
+
+// TestCompareNsSkipPolicy: ns/op is skipped — but allocs still gated —
+// when GOMAXPROCS differs or either side is contended.
+func TestCompareNsSkipPolicy(t *testing.T) {
+	base := file(rec("fig8a/j1", 1000, 100))
+
+	hostMismatch := file(Record{ID: "fig8a/j1", GoMaxProcs: 4, NsPerOp: 5000, AllocsPerOp: 100})
+	res := Compare(base, hostMismatch, 0.10)
+	if res.Fail() {
+		t.Fatalf("ns compared across GOMAXPROCS mismatch: %+v", res.Regressions)
+	}
+	if len(res.SkippedNs) != 1 || res.SkippedNs[0] != "fig8a/j1" {
+		t.Fatalf("skip not recorded: %+v", res.SkippedNs)
+	}
+
+	contended := file(Record{ID: "fig8a/j1", GoMaxProcs: 1, NsPerOp: 5000, AllocsPerOp: 100, Contended: true})
+	if res := Compare(base, contended, 0.10); res.Fail() || len(res.SkippedNs) != 1 {
+		t.Fatalf("contended current not skipped: %+v", res)
+	}
+
+	// The alloc gate still applies on a skipped-ns row.
+	worse := file(Record{ID: "fig8a/j1", GoMaxProcs: 4, NsPerOp: 5000, AllocsPerOp: 200})
+	if res := Compare(base, worse, 0.10); !res.Fail() || res.Regressions[0].Metric != "allocs/op" {
+		t.Fatalf("alloc regression hidden by ns skip: %+v", res)
+	}
+}
+
+// TestCompareMissingRow: silently dropping a benchmark must not pass.
+func TestCompareMissingRow(t *testing.T) {
+	base := file(rec("fig8a/j1", 1000, 100), rec("fig8b/j1", 1000, 100))
+	res := Compare(base, file(rec("fig8a/j1", 1000, 100)), 0.10)
+	if !res.Fail() || len(res.Missing) != 1 || res.Missing[0] != "fig8b/j1" {
+		t.Fatalf("missing row not caught: %+v", res)
+	}
+}
+
+// TestWriteBaselineContendedRefusal: a contended run may seed a fresh
+// baseline (taint recorded in the file) but not replace an existing one
+// without -force.
+func TestWriteBaselineContendedRefusal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_sim.json")
+
+	clean := file(rec("fig8a/j1", 1000, 100))
+	if err := WriteBaseline(path, clean, false); err != nil {
+		t.Fatalf("fresh clean write: %v", err)
+	}
+
+	tainted := file(Record{ID: "fig8a/j8", GoMaxProcs: 1, Parallelism: 8, NsPerOp: 900, Contended: true})
+	err := WriteBaseline(path, tainted, false)
+	if err == nil || !strings.Contains(err.Error(), "contended") {
+		t.Fatalf("contended overwrite not refused: %v", err)
+	}
+	if got, _ := Load(path); len(got.Benchmarks) != 1 || got.Benchmarks[0].ID != "fig8a/j1" {
+		t.Fatalf("refused write still mutated the baseline: %+v", got)
+	}
+
+	if err := WriteBaseline(path, tainted, true); err != nil {
+		t.Fatalf("forced overwrite: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Contended() {
+		t.Fatal("taint lost on round-trip")
+	}
+
+	// A fresh path takes a contended run without force.
+	fresh := filepath.Join(dir, "BENCH_new.json")
+	if err := WriteBaseline(fresh, tainted, false); err != nil {
+		t.Fatalf("fresh contended write refused: %v", err)
+	}
+}
+
+// TestLoadRoundTrip pins the JSON schema field names.
+func TestLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "b.json")
+	f := NewFile("test context")
+	f.Benchmarks = []Record{{
+		ID: "x/j1", Parallelism: 1, GoMaxProcs: 1,
+		NsPerOp: 123.5, AllocsPerOp: 7, WallNs: 1000, CPUNs: 900,
+		Iterations: 3, Speedup: 1.5,
+	}}
+	if err := f.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != Schema || got.Context != "test context" || len(got.Benchmarks) != 1 {
+		t.Fatalf("header round-trip: %+v", got)
+	}
+	if got.Benchmarks[0] != f.Benchmarks[0] {
+		t.Fatalf("record round-trip: %+v != %+v", got.Benchmarks[0], f.Benchmarks[0])
+	}
+}
+
+// TestMeasureRecordsHostShape sanity-checks the testing.Benchmark wrapper:
+// iterations run, wall time accumulates, and contention tagging follows
+// the requested parallelism.
+func TestMeasureRecordsHostShape(t *testing.T) {
+	n := 0
+	rec := Measure("m/j1", 1, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			n++
+		}
+	})
+	if rec.ID != "m/j1" || rec.Iterations <= 0 || n < rec.Iterations {
+		t.Fatalf("measure did not run: %+v (n=%d)", rec, n)
+	}
+	if rec.WallNs <= 0 {
+		t.Fatalf("wall time not recorded: %+v", rec)
+	}
+	if rec.Contended {
+		t.Fatalf("parallelism 1 tagged contended: %+v", rec)
+	}
+	beyond := runtime.GOMAXPROCS(0) + 1
+	if over := Measure("m/over", beyond, func(b *testing.B) {}); !over.Contended {
+		t.Fatalf("parallelism %d not tagged contended on this host: %+v", beyond, over)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package bench
+
+// processCPUNs is unavailable off unix; records carry cpu_ns 0 and the
+// wall/CPU parallelism signal is simply absent.
+func processCPUNs() int64 { return 0 }

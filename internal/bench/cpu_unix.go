@@ -1,0 +1,14 @@
+//go:build unix
+
+package bench
+
+import "syscall"
+
+// processCPUNs returns the process's cumulative user+system CPU time.
+func processCPUNs() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Utime.Nano() + ru.Stime.Nano()
+}

@@ -1,0 +1,48 @@
+package bench
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Measure runs fn under testing.Benchmark and packages the result as a
+// Record. parallelism is the requested worker parallelism (0 when the
+// benchmark has no worker pool); the record is tagged contended when it
+// exceeds the host's GOMAXPROCS. Wall and CPU time cover the whole
+// calibration-and-measurement run — their ratio is what distinguishes a
+// genuinely parallel measurement (CPU > wall) from a time-sliced one.
+func Measure(id string, parallelism int, fn func(b *testing.B)) Record {
+	wall0 := time.Now()
+	cpu0 := processCPUNs()
+	r := testing.Benchmark(fn)
+	rec := Record{
+		ID:          id,
+		Parallelism: parallelism,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		AllocsPerOp: int64(r.AllocsPerOp()),
+		WallNs:      time.Since(wall0).Nanoseconds(),
+		CPUNs:       processCPUNs() - cpu0,
+		Iterations:  r.N,
+		Contended:   parallelism > runtime.GOMAXPROCS(0),
+	}
+	if r.N > 0 {
+		rec.NsPerOp = float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	return rec
+}
+
+// NewFile starts a baseline file with the host header filled in.
+func NewFile(context string) *File {
+	f := &File{
+		Schema:     Schema,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Context:    context,
+	}
+	if f.GoMaxProcs == 1 {
+		f.Note = "GOMAXPROCS=1: parallel runs cannot overlap on this host; speedup_vs_serial suppressed"
+	}
+	return f
+}

@@ -1,0 +1,202 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"bittactical/internal/experiments"
+	"bittactical/internal/nn"
+	"bittactical/internal/sched"
+	"bittactical/internal/sim"
+	"bittactical/internal/sparsity"
+)
+
+// Logf is the progress callback the suites report through (one line per
+// measurement); nil silences them.
+type Logf func(format string, args ...any)
+
+func (l Logf) printf(format string, args ...any) {
+	if l != nil {
+		l(format, args...)
+	}
+}
+
+// benchSink defeats dead-code elimination of the kernel benchmark loops.
+var benchSink int
+
+// simOptions sizes the zoo exactly like the repo's benchmark suite
+// (bench_test.go): all seven networks and every layer type in minutes.
+func simOptions() experiments.Options {
+	z := nn.DefaultZoo()
+	z.ChannelScale, z.SpatialScale = 0.125, 0.35
+	return experiments.Options{Zoo: z, Trials: 25}
+}
+
+// RunSim measures the fig8/fig11 experiment runners through the whole
+// engine at parallelism 1 and 8. The shared schedule and plane caches are
+// reset before every iteration so each configuration pays its own build
+// cost; speedup_vs_serial is emitted only when the host can actually
+// overlap workers.
+func RunSim(logf Logf) (*File, error) {
+	f := NewFile("zoo channel scale 0.125, spatial scale 0.35, 25 trials")
+	concurrent := runtime.GOMAXPROCS(0) > 1
+	serialNs := map[string]float64{}
+	for _, id := range []string{"fig8a", "fig8b", "fig11a", "fig11b"} {
+		run := experiments.Registry[id]
+		if run == nil {
+			return nil, fmt.Errorf("bench: unknown experiment %q", id)
+		}
+		for _, par := range []int{1, 8} {
+			opts := simOptions()
+			opts.Parallelism = par
+			var benchErr error
+			rec := Measure(fmt.Sprintf("%s/j%d", id, par), par, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sched.Shared.Reset()
+					sim.SharedPlanes.Reset()
+					if _, err := run(opts); err != nil {
+						benchErr = err
+						b.Fatal(err)
+					}
+				}
+			})
+			if benchErr != nil {
+				return nil, benchErr
+			}
+			if par == 1 {
+				serialNs[id] = rec.NsPerOp
+			} else if s := serialNs[id]; concurrent && s > 0 && rec.NsPerOp > 0 {
+				rec.Speedup = s / rec.NsPerOp
+			}
+			f.Benchmarks = append(f.Benchmarks, rec)
+			logf.printf("%s: %.0f ns/op, %d allocs/op (%d iters)", rec.ID, rec.NsPerOp, rec.AllocsPerOp, rec.Iterations)
+		}
+	}
+	return f, nil
+}
+
+// schedGroup is the Table-2-sized filter group the scheduler suite runs
+// on: 16 filters (one tile's PE rows) × 16 lanes × 54 dense steps at 70%
+// sparsity — the geometry and density regime of the paper's pruned conv
+// layers.
+func schedGroup(seed int64) []sched.Filter {
+	rng := rand.New(rand.NewSource(seed))
+	const lanes, steps, nf = 16, 54, 16
+	filters := make([]sched.Filter, nf)
+	for i := range filters {
+		filters[i] = sched.NewFilter(lanes, steps, sparsity.RandomSparseFilter(rng, steps, lanes, 0.7), nil)
+	}
+	return filters
+}
+
+// RunSched measures the scheduling kernel per (pattern, algorithm): the
+// arena-mode kernel in steady state (the zero-alloc hot path), the pooled
+// fresh-copy entry point (the cache-fill path), and the reference
+// scheduler it is differentially tested against.
+func RunSched(logf Logf) (*File, error) {
+	f := NewFile("16 filters x 16 lanes x 54 steps, 70% sparsity")
+	filters := schedGroup(1)
+	for _, p := range []sched.Pattern{sched.L(1, 2), sched.L(2, 5), sched.T(2, 5), sched.T(1, 6)} {
+		for _, alg := range []sched.Algorithm{sched.Algorithm1, sched.GreedySimple, sched.Matching} {
+			base := fmt.Sprintf("sched/%s/%s", p.Name, alg)
+			sc := sched.NewScheduler()
+			sc.ScheduleGroup(filters, p, alg) // warm the arena
+			for _, v := range []struct {
+				name string
+				fn   func()
+			}{
+				{"kernel", func() { sc.ScheduleGroup(filters, p, alg) }},
+				{"fresh", func() { sched.ScheduleGroup(filters, p, alg) }},
+				{"reference", func() { sched.ScheduleGroupReference(filters, p, alg) }},
+			} {
+				rec := Measure(base+"/"+v.name, 0, func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						v.fn()
+					}
+				})
+				f.Benchmarks = append(f.Benchmarks, rec)
+				logf.printf("%s: %.0f ns/op, %d allocs/op", rec.ID, rec.NsPerOp, rec.AllocsPerOp)
+			}
+		}
+	}
+	return f, nil
+}
+
+// kernelColumn builds one random (cost, mask) column in the packed SWAR
+// layout: padLanes-sized costs <= 127, word-packed 0x00/0xFF lane masks.
+func kernelColumn(rng *rand.Rand, lanes int) ([]uint8, []uint64) {
+	words := (lanes + 7) / 8
+	cost := make([]uint8, words*8)
+	mask := make([]uint64, words)
+	for ln := 0; ln < lanes; ln++ {
+		cost[ln] = uint8(rng.Intn(128))
+		if rng.Intn(2) == 0 {
+			mask[ln>>3] |= 0xff << (8 * uint(ln&7))
+		}
+	}
+	return cost, mask
+}
+
+// RunKernel measures the SWAR column-max against its scalar reference
+// per lane count over 256 random columns cycled per op.
+func RunKernel(logf Logf) (*File, error) {
+	f := NewFile("256 random (cost, mask) columns cycled per op")
+	for _, lanes := range []int{8, 16, 32, 64} {
+		rng := rand.New(rand.NewSource(7))
+		const n = 256
+		costs := make([][]uint8, n)
+		masks := make([][]uint64, n)
+		for i := range costs {
+			costs[i], masks[i] = kernelColumn(rng, lanes)
+		}
+		for _, v := range []struct {
+			name string
+			fn   func(cost []uint8, mask []uint64) int
+		}{
+			{"swar", sim.ColumnMax},
+			{"scalar", sim.ColumnMaxScalar},
+		} {
+			fn := v.fn
+			var sink int
+			rec := Measure(fmt.Sprintf("kernel/lanes=%d/%s", lanes, v.name), 0, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					j := i & 255
+					sink += fn(costs[j], masks[j])
+				}
+			})
+			benchSink = sink
+			f.Benchmarks = append(f.Benchmarks, rec)
+			logf.printf("%s: %.2f ns/op, %d allocs/op", rec.ID, rec.NsPerOp, rec.AllocsPerOp)
+		}
+	}
+	return f, nil
+}
+
+// Suite names a runnable benchmark suite and its committed baseline file.
+type Suite struct {
+	Name string
+	File string // baseline filename relative to the repo root
+	Run  func(Logf) (*File, error)
+}
+
+// Suites are the repo's three committed baselines in gate order.
+var Suites = []Suite{
+	{Name: "kernel", File: "BENCH_kernel.json", Run: RunKernel},
+	{Name: "sched", File: "BENCH_sched.json", Run: RunSched},
+	{Name: "sim", File: "BENCH_sim.json", Run: RunSim},
+}
+
+// SuiteByName returns the named suite, or nil.
+func SuiteByName(name string) *Suite {
+	for i := range Suites {
+		if Suites[i].Name == name {
+			return &Suites[i]
+		}
+	}
+	return nil
+}

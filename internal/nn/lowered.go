@@ -2,6 +2,7 @@ package nn
 
 import (
 	"fmt"
+	"sync"
 
 	"bittactical/internal/tensor"
 )
@@ -46,6 +47,9 @@ type Lowered struct {
 	// the datapath is not starved to C of its L lanes — the standard
 	// first-layer mapping in the DaDianNao accelerator family.
 	folded bool
+
+	padOnce sync.Once
+	pad     []bool
 }
 
 // Lower produces the lowered view of layer l with its input activations.
@@ -137,6 +141,29 @@ func (lw *Lowered) IsPad(step, lane int) bool {
 	return !ok
 }
 
+// PadMask returns the layer's channel-padding mask in dense-schedule
+// layout (step*Lanes+lane), or nil when the layer has no padding. The mask
+// is computed once and shared — every config sweeping the layer keys the
+// same slots — so callers must treat it as read-only.
+func (lw *Lowered) PadMask() []bool {
+	lw.padOnce.Do(func() {
+		any := false
+		pad := make([]bool, lw.Steps*lw.Lanes)
+		for st := 0; st < lw.Steps; st++ {
+			for ln := 0; ln < lw.Lanes; ln++ {
+				if lw.IsPad(st, ln) {
+					pad[st*lw.Lanes+ln] = true
+					any = true
+				}
+			}
+		}
+		if any {
+			lw.pad = pad
+		}
+	})
+	return lw.pad
+}
+
 // Weight returns the weight code of filter f at dense-schedule position
 // (step, lane); padding slots return 0.
 func (lw *Lowered) Weight(f, step, lane int) int32 {
@@ -154,12 +181,19 @@ func (lw *Lowered) Weight(f, step, lane int) int32 {
 // (row-major), the input format the software scheduler consumes.
 func (lw *Lowered) FilterRow(f int) []int32 {
 	out := make([]int32, lw.Steps*lw.Lanes)
+	lw.FilterRowInto(f, out)
+	return out
+}
+
+// FilterRowInto is FilterRow into caller-provided storage of length
+// Steps*Lanes, for engines that materialize many rows into a reused
+// arena.
+func (lw *Lowered) FilterRowInto(f int, out []int32) {
 	for st := 0; st < lw.Steps; st++ {
 		for ln := 0; ln < lw.Lanes; ln++ {
 			out[st*lw.Lanes+ln] = lw.Weight(f, st, ln)
 		}
 	}
-	return out
 }
 
 // Act returns the activation code paired with dense-schedule position
@@ -209,6 +243,60 @@ func (lw *Lowered) ActRowInvariant() bool {
 		return lw.layer.Groups <= 1
 	default:
 		return false
+	}
+}
+
+// ActGroups returns the number of distinct activation-fetch behaviors
+// along the filter axis: Act(f, ·) is identical for every filter in one
+// act group. Row-invariant layers (FC, ungrouped conv) are one group;
+// a grouped convolution has one per filter group (the group selects the
+// input-channel slice); depthwise has one per filter (the filter IS the
+// channel). Together with ActGroupOf/ActGroupRep this is what lets the
+// simulator precompute activation cost planes for row-VARIANT layers
+// too: one plane per act group instead of one per layer.
+func (lw *Lowered) ActGroups() int {
+	switch lw.Kind {
+	case Conv:
+		if g := lw.layer.Groups; g > 1 {
+			return g
+		}
+		return 1
+	case Depthwise:
+		return lw.Filters
+	default:
+		return 1
+	}
+}
+
+// ActGroupOf returns the act group of filter f.
+func (lw *Lowered) ActGroupOf(f int) int {
+	switch lw.Kind {
+	case Conv:
+		if g := lw.layer.Groups; g > 1 {
+			return f / (lw.layer.K / g)
+		}
+		return 0
+	case Depthwise:
+		return f
+	default:
+		return 0
+	}
+}
+
+// ActGroupRep returns a representative filter index of act group g:
+// Act(ActGroupRep(g), ·) equals Act(f, ·) for every f with
+// ActGroupOf(f) == g.
+func (lw *Lowered) ActGroupRep(g int) int {
+	switch lw.Kind {
+	case Conv:
+		if gs := lw.layer.Groups; gs > 1 {
+			return g * (lw.layer.K / gs)
+		}
+		return 0
+	case Depthwise:
+		return g
+	default:
+		return 0
 	}
 }
 

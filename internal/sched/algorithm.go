@@ -47,6 +47,17 @@ func (a Algorithm) String() string {
 //
 // All returned schedules have identical column counts, heads, and advances.
 func scheduleGroupReference(filters []Filter, p Pattern, alg Algorithm) []*Schedule {
+	return scheduleGroupRef(filters, p, alg)
+}
+
+// ScheduleGroupReference exposes the reference scheduler to differential
+// tooling outside the package (the benchmark suite measures kernel vs
+// reference); engine code must use ScheduleGroup or a Cache.
+func ScheduleGroupReference(filters []Filter, p Pattern, alg Algorithm) []*Schedule {
+	return scheduleGroupRef(filters, p, alg)
+}
+
+func scheduleGroupRef(filters []Filter, p Pattern, alg Algorithm) []*Schedule {
 	if len(filters) == 0 {
 		return nil
 	}

@@ -1,13 +1,9 @@
 package sched
 
 import (
-	"encoding/json"
 	"fmt"
 	"math/rand"
-	"os"
-	"runtime"
 	"testing"
-	"time"
 
 	"bittactical/internal/sparsity"
 )
@@ -93,87 +89,6 @@ func BenchmarkScheduleGroupReference(b *testing.B) {
 	}
 }
 
-// TestEmitBenchSched regenerates BENCH_sched.json at the repo root: per
-// (pattern, algorithm) ns/op and allocs/op for the optimized kernel (arena
-// mode), the pooled fresh-copy path, and the reference scheduler, plus the
-// reference/kernel speedup. Gated behind TCL_BENCH_SCHED=1 (`make
-// bench-sched`).
-func TestEmitBenchSched(t *testing.T) {
-	if os.Getenv("TCL_BENCH_SCHED") == "" {
-		t.Skip("set TCL_BENCH_SCHED=1 to regenerate BENCH_sched.json")
-	}
-	type record struct {
-		Pattern         string  `json:"pattern"`
-		Algorithm       string  `json:"algorithm"`
-		KernelNsPerOp   int64   `json:"kernel_ns_per_op"`
-		KernelAllocs    int64   `json:"kernel_allocs_per_op"`
-		FreshNsPerOp    int64   `json:"fresh_ns_per_op"`
-		FreshAllocs     int64   `json:"fresh_allocs_per_op"`
-		RefNsPerOp      int64   `json:"reference_ns_per_op"`
-		RefAllocs       int64   `json:"reference_allocs_per_op"`
-		SpeedupVsRef    float64 `json:"kernel_speedup_vs_reference"`
-		FreshSpeedupRef float64 `json:"fresh_speedup_vs_reference"`
-	}
-	out := struct {
-		Generated  string   `json:"generated"`
-		GoMaxProcs int      `json:"go_max_procs"`
-		NumCPU     int      `json:"num_cpu"`
-		Group      string   `json:"group"`
-		Benchmarks []record `json:"benchmarks"`
-	}{
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		Group:      "16 filters x 16 lanes x 54 steps, 70% sparsity",
-	}
-	filters := benchGroup(1)
-	for _, c := range benchConfigs() {
-		sc := NewScheduler()
-		sc.ScheduleGroup(filters, c.p, c.alg)
-		kernel := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				sc.ScheduleGroup(filters, c.p, c.alg)
-			}
-		})
-		fresh := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				ScheduleGroup(filters, c.p, c.alg)
-			}
-		})
-		ref := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				scheduleGroupReference(filters, c.p, c.alg)
-			}
-		})
-		rec := record{
-			Pattern:       c.p.Name,
-			Algorithm:     c.alg.String(),
-			KernelNsPerOp: kernel.NsPerOp(),
-			KernelAllocs:  int64(kernel.AllocsPerOp()),
-			FreshNsPerOp:  fresh.NsPerOp(),
-			FreshAllocs:   int64(fresh.AllocsPerOp()),
-			RefNsPerOp:    ref.NsPerOp(),
-			RefAllocs:     int64(ref.AllocsPerOp()),
-		}
-		if rec.KernelNsPerOp > 0 {
-			rec.SpeedupVsRef = float64(rec.RefNsPerOp) / float64(rec.KernelNsPerOp)
-		}
-		if rec.FreshNsPerOp > 0 {
-			rec.FreshSpeedupRef = float64(rec.RefNsPerOp) / float64(rec.FreshNsPerOp)
-		}
-		out.Benchmarks = append(out.Benchmarks, rec)
-		t.Logf("%s/%s: kernel %d ns/op (%d allocs), fresh %d ns/op (%d allocs), reference %d ns/op (%d allocs), %.2fx",
-			c.p.Name, c.alg, rec.KernelNsPerOp, rec.KernelAllocs,
-			rec.FreshNsPerOp, rec.FreshAllocs, rec.RefNsPerOp, rec.RefAllocs, rec.SpeedupVsRef)
-	}
-	buf, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile("../../BENCH_sched.json", append(buf, '\n'), 0o644); err != nil {
-		t.Fatal(err)
-	}
-}
+// BENCH_sched.json regeneration lives in emit_test.go (package sched_test):
+// the shared internal/bench suite imports this package, so the emitter must
+// sit outside it to avoid an import cycle in the test binary.

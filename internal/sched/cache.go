@@ -22,6 +22,7 @@ import (
 type Cache struct {
 	mu        sync.RWMutex
 	m         map[groupKey][]*Schedule
+	slab      schedSlab
 	capacity  int
 	hits      atomic.Int64
 	misses    atomic.Int64
@@ -82,11 +83,23 @@ func fnvString(h uint64, s string) uint64 {
 	return h
 }
 
+// patKeys interns the canonical pattern strings: the handful of patterns a
+// process sweeps are keyed thousands of times, and the hot path below
+// renders into a stack buffer and probes with a byte-slice map lookup (no
+// conversion allocation), so repeat keying is allocation-free. Interning by
+// the full rendered content — not the pattern name — keeps the no-collision
+// property of the rendering itself.
+var (
+	patKeyMu sync.RWMutex
+	patKeys  = make(map[string]string)
+)
+
 // patternKey canonicalizes a pattern for keying: the name alone is not
 // trustworthy (LookaheadOnly and hand-built patterns reuse labels), so the
 // key spells out the structural fields and every offset.
 func patternKey(p Pattern) string {
-	b := make([]byte, 0, 16+8*len(p.Offsets))
+	var arr [96]byte
+	b := arr[:0]
 	b = strconv.AppendInt(b, int64(p.H), 10)
 	b = append(b, '/')
 	if p.Infinite {
@@ -98,11 +111,27 @@ func patternKey(p Pattern) string {
 		b = append(b, ',')
 		b = strconv.AppendInt(b, int64(o.Dl), 10)
 	}
-	return string(b)
+	patKeyMu.RLock()
+	s, ok := patKeys[string(b)]
+	patKeyMu.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	patKeyMu.Lock()
+	patKeys[s] = s
+	patKeyMu.Unlock()
+	return s
 }
 
-func keyOf(filters []Filter, p Pattern, alg Algorithm) groupKey {
-	h1, h2 := uint64(fnvOffset), uint64(5381)
+// HashFilters computes the filter-content half of a group key: two
+// independent hash streams over the group's geometry and weight values.
+// Callers that look the same group up repeatedly (the sweep engine's
+// filter bank re-keys one group under every config) compute this once and
+// pass it to Keyer.ScheduleGroup instead of re-hashing the weights on
+// every lookup.
+func HashFilters(filters []Filter) (h1, h2 uint64) {
+	h1, h2 = uint64(fnvOffset), uint64(5381)
 	mix := func(v int64) {
 		h1 = fnvInt(h1, v)
 		h2 = h2*33 + uint64(v) + (h2 >> 27)
@@ -115,7 +144,32 @@ func keyOf(filters []Filter, p Pattern, alg Algorithm) groupKey {
 			mix(int64(w))
 		}
 	}
-	return groupKey{h1: h1, h2: fnvString(h2, patternKey(p)), pattern: patternKey(p), alg: alg}
+	return h1, h2
+}
+
+// Keyer carries the pattern/algorithm half of a group key in precomputed
+// form. Pattern canonicalization builds a string per call; a sweep that
+// looks up thousands of groups under one (pattern, algorithm) pays it
+// once here instead.
+type Keyer struct {
+	c   *Cache
+	pat string
+	p   Pattern
+	alg Algorithm
+}
+
+// Keyer returns a precomputed-key view of the cache for one
+// (pattern, algorithm) pair.
+func (c *Cache) Keyer(p Pattern, alg Algorithm) Keyer {
+	return Keyer{c: c, pat: patternKey(p), p: p, alg: alg}
+}
+
+// ScheduleGroup is Cache.ScheduleGroup with both key halves precomputed:
+// the pattern half in the Keyer, the filter-content hash (HashFilters
+// over the same filters) by the caller.
+func (k Keyer) ScheduleGroup(h1, h2 uint64, filters []Filter) []*Schedule {
+	key := groupKey{h1: h1, h2: fnvString(h2, k.pat), pattern: k.pat, alg: k.alg}
+	return k.c.lookupOrFill(key, filters, k.p, k.alg)
 }
 
 // ScheduleGroup returns the memoized joint schedule for the filter group,
@@ -123,7 +177,13 @@ func keyOf(filters []Filter, p Pattern, alg Algorithm) groupKey {
 // the same key; both compute the identical deterministic result and one
 // wins the store, so no caller ever observes a partial entry.
 func (c *Cache) ScheduleGroup(filters []Filter, p Pattern, alg Algorithm) []*Schedule {
-	key := keyOf(filters, p, alg)
+	h1, h2 := HashFilters(filters)
+	pat := patternKey(p)
+	key := groupKey{h1: h1, h2: fnvString(h2, pat), pattern: pat, alg: alg}
+	return c.lookupOrFill(key, filters, p, alg)
+}
+
+func (c *Cache) lookupOrFill(key groupKey, filters []Filter, p Pattern, alg Algorithm) []*Schedule {
 	c.mu.RLock()
 	ss, ok := c.m[key]
 	c.mu.RUnlock()
@@ -131,16 +191,40 @@ func (c *Cache) ScheduleGroup(filters []Filter, p Pattern, alg Algorithm) []*Sch
 		c.hits.Add(1)
 		return ss
 	}
-	ss = ScheduleGroup(filters, p, alg)
+	ss = c.fill(filters, p, alg)
 	c.misses.Add(1)
 	c.mu.Lock()
 	if len(c.m) >= c.capacity {
 		c.evictions.Add(int64(len(c.m)))
 		c.m = make(map[groupKey][]*Schedule)
+		// The dropped entries were carved from the slab; drop its chunks
+		// with them so the memory actually retires. Chunks still referenced
+		// by schedules callers hold stay alive through those references.
+		c.slab = schedSlab{}
 	}
 	c.m[key] = ss
 	c.mu.Unlock()
 	return ss
+}
+
+// fill computes the group's schedules into cache-owned storage. The
+// scheduling itself runs in a pooled kernel's arena; the result is then
+// carved out of the cache slab (four amortized-zero "allocations") and
+// copied with one bulk memmove per filter. Only the carve itself holds
+// the cache mutex — concurrent fills copy in parallel.
+func (c *Cache) fill(filters []Filter, p Pattern, alg Algorithm) []*Schedule {
+	s := schedulerPool.Get().(*Scheduler)
+	nf, lanes, steps, cols, fallback := s.runGroup(filters, p, alg)
+	if fallback != nil || nf == 0 {
+		schedulerPool.Put(s)
+		return fallback
+	}
+	c.mu.Lock()
+	ents, fcols, schs, ptrs := c.slab.take(nf, cols, lanes)
+	c.mu.Unlock()
+	s.assembleInto(ents, fcols, schs, ptrs, nf, lanes, steps, cols)
+	schedulerPool.Put(s)
+	return ptrs
 }
 
 // CacheStats is a cache's lifetime counters and current residency.
@@ -185,6 +269,7 @@ func (c *Cache) RegisterMetrics(r *metrics.Registry, prefix string) {
 func (c *Cache) Reset() {
 	c.mu.Lock()
 	c.m = make(map[groupKey][]*Schedule)
+	c.slab = schedSlab{}
 	c.mu.Unlock()
 	c.hits.Store(0)
 	c.misses.Store(0)

@@ -1,0 +1,28 @@
+// External test package: the emitter delegates to internal/bench, which
+// imports sched — an internal test file would close an import cycle.
+package sched_test
+
+import (
+	"os"
+	"testing"
+
+	"bittactical/internal/bench"
+)
+
+// TestEmitBenchSched regenerates BENCH_sched.json at the repo root
+// through the shared internal/bench sched suite: per (pattern, algorithm)
+// the arena-mode kernel, the pooled fresh-copy path, and the reference
+// scheduler. Gated behind TCL_BENCH_SCHED=1 (`make bench-sched`);
+// TCL_BENCH_FORCE=1 overrides the contended-baseline refusal.
+func TestEmitBenchSched(t *testing.T) {
+	if os.Getenv("TCL_BENCH_SCHED") == "" {
+		t.Skip("set TCL_BENCH_SCHED=1 to regenerate BENCH_sched.json")
+	}
+	f, err := bench.RunSched(t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.WriteBaseline("../../BENCH_sched.json", f, os.Getenv("TCL_BENCH_FORCE") != ""); err != nil {
+		t.Fatal(err)
+	}
+}

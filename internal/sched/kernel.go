@@ -60,16 +60,31 @@ func NewScheduler() *Scheduler { return &Scheduler{} }
 // differential fuzz suite asserts bit-identical output against the reference
 // scheduler — but the returned schedules are only valid until the next call
 // on this Scheduler. Patterns beyond the kernel's bitset width (> 64
-// offsets) and the infinite upper-bound pattern take the allocating paths.
+// offsets) take the allocating reference path; the infinite upper bound
+// runs arena-backed like the rest.
 func (s *Scheduler) ScheduleGroup(filters []Filter, p Pattern, alg Algorithm) []*Schedule {
 	return s.scheduleGroup(filters, p, alg, false)
 }
 
 func (s *Scheduler) scheduleGroup(filters []Filter, p Pattern, alg Algorithm, fresh bool) []*Schedule {
-	if len(filters) == 0 {
-		return nil
+	nf, lanes, steps, cols, fallback := s.runGroup(filters, p, alg)
+	if fallback != nil || nf == 0 {
+		return fallback
 	}
-	lanes, steps := filters[0].Lanes, filters[0].Steps
+	return s.assemble(nf, lanes, steps, cols, fresh)
+}
+
+// runGroup validates the group, runs it into the scheduler's arena, and
+// returns the geometry plus column count the assemblers need. Patterns
+// beyond the kernel's bitset width cannot use the arena; for those the
+// reference scheduler's freshly allocated result comes back as fallback
+// and the arena is untouched.
+func (s *Scheduler) runGroup(filters []Filter, p Pattern, alg Algorithm) (nf, lanes, steps, cols int, fallback []*Schedule) {
+	nf = len(filters)
+	if nf == 0 {
+		return
+	}
+	lanes, steps = filters[0].Lanes, filters[0].Steps
 	for _, f := range filters {
 		if f.Lanes != lanes || f.Steps != steps {
 			panic(fmt.Sprintf("sched: group filters disagree on geometry (%dx%d vs %dx%d)",
@@ -77,15 +92,79 @@ func (s *Scheduler) scheduleGroup(filters []Filter, p Pattern, alg Algorithm, fr
 		}
 	}
 	if p.Infinite {
-		return scheduleInfinite(filters)
+		cols = s.runInfinite(filters, lanes, steps)
+		return
 	}
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
 	if len(p.Offsets) > maxKernelOffsets {
-		return scheduleGroupReference(filters, p, alg)
+		fallback = scheduleGroupReference(filters, p, alg)
+		return
 	}
+	cols = s.runKernel(filters, p, alg, lanes, steps)
+	return
+}
 
+// runInfinite realizes the X<inf,15> upper bound in the arena with the
+// same column layout as runKernel: entries of filter i, column c at
+// entArena[(i*steps+c)*lanes]. Semantics match scheduleInfinite (the
+// reference, still used by scheduleGroupReference) bit for bit —
+// arbitrary promotion compacts each filter to ⌈nnz/L⌉ columns and the
+// group pads to the slowest filter.
+func (s *Scheduler) runInfinite(filters []Filter, lanes, steps int) int {
+	nf := len(filters)
+	maxCols := 0
+	for _, f := range filters {
+		nnz := 0
+		for _, w := range f.W {
+			if w != 0 {
+				nnz++
+			}
+		}
+		if c := (nnz + lanes - 1) / lanes; c > maxCols {
+			maxCols = c
+		}
+	}
+	s.entArena = growSlice(s.entArena, nf*steps*lanes)
+	s.colArena = growSlice(s.colArena, nf*steps)
+	for i, f := range filters {
+		ents := s.entArena[i*steps*lanes : i*steps*lanes+maxCols*lanes]
+		for j := range ents {
+			ents[j] = Entry{}
+		}
+		k := 0
+		for st := 0; st < steps; st++ {
+			for ln := 0; ln < lanes; ln++ {
+				w := f.W[st*lanes+ln]
+				if w == 0 {
+					continue
+				}
+				c, dl := k/lanes, k%lanes
+				head := min(c, steps-1)
+				ents[c*lanes+dl] = Entry{Weight: w, SrcStep: st, SrcLane: ln, Dt: st - head, Dl: ln - dl}
+				k++
+			}
+		}
+		for c := 0; c < maxCols; c++ {
+			head := min(c, steps-1)
+			adv := 1
+			if c == maxCols-1 {
+				adv = steps - head
+				if adv < 1 {
+					adv = 1
+				}
+			}
+			s.colArena[i*steps+c] = Column{Head: head, Advance: adv,
+				Entries: s.entArena[(i*steps+c)*lanes : (i*steps+c+1)*lanes]}
+		}
+	}
+	return maxCols
+}
+
+// runKernel is the optimized scheduling kernel proper: it fills the
+// arena and returns the shared column count.
+func (s *Scheduler) runKernel(filters []Filter, p Pattern, alg Algorithm, lanes, steps int) int {
 	nf := len(filters)
 	s.plan(p, steps)
 
@@ -170,7 +249,7 @@ func (s *Scheduler) scheduleGroup(filters []Filter, p Pattern, alg Algorithm, fr
 		head += adv
 		cols++
 	}
-	return s.assemble(nf, lanes, steps, cols, fresh)
+	return cols
 }
 
 // assemble materializes the schedules over the column arena — in place for
@@ -181,19 +260,7 @@ func (s *Scheduler) assemble(nf, lanes, steps, cols int, fresh bool) []*Schedule
 		fcols := make([]Column, nf*cols)
 		scheds := make([]Schedule, nf)
 		out := make([]*Schedule, nf)
-		for i := 0; i < nf; i++ {
-			for c := 0; c < cols; c++ {
-				src := &s.colArena[i*steps+c]
-				dst := ents[(i*cols+c)*lanes : (i*cols+c+1)*lanes]
-				copy(dst, src.Entries)
-				fcols[i*cols+c] = Column{Head: src.Head, Advance: src.Advance, Entries: dst}
-			}
-			scheds[i] = Schedule{Lanes: lanes, DenseSteps: steps}
-			if cols > 0 {
-				scheds[i].Columns = fcols[i*cols : (i+1)*cols]
-			}
-			out[i] = &scheds[i]
-		}
+		s.assembleInto(ents, fcols, scheds, out, nf, lanes, steps, cols)
 		return out
 	}
 	s.schArena = growSlice(s.schArena, nf)
@@ -206,6 +273,28 @@ func (s *Scheduler) assemble(nf, lanes, steps, cols int, fresh bool) []*Schedule
 		s.ptrArena[i] = &s.schArena[i]
 	}
 	return s.ptrArena[:nf]
+}
+
+// assembleInto copies the arena group into caller-provided storage (a
+// fresh allocation or a cache slab carve). The arena keeps filter i's
+// entries contiguous across columns — [(i*steps)*lanes, (i*steps+cols)*lanes)
+// — so the bulk of the copy is a single memmove per filter rather than
+// one per column; at full-zoo sweep scale the per-column variant was the
+// single largest memmove source in the profile.
+func (s *Scheduler) assembleInto(ents []Entry, fcols []Column, scheds []Schedule, out []*Schedule, nf, lanes, steps, cols int) {
+	for i := 0; i < nf; i++ {
+		copy(ents[i*cols*lanes:(i+1)*cols*lanes], s.entArena[i*steps*lanes:(i*steps+cols)*lanes])
+		for c := 0; c < cols; c++ {
+			src := &s.colArena[i*steps+c]
+			fcols[i*cols+c] = Column{Head: src.Head, Advance: src.Advance,
+				Entries: ents[(i*cols+c)*lanes : (i*cols+c+1)*lanes : (i*cols+c+1)*lanes]}
+		}
+		scheds[i] = Schedule{Lanes: lanes, DenseSteps: steps}
+		if cols > 0 {
+			scheds[i].Columns = fcols[i*cols : (i+1)*cols]
+		}
+		out[i] = &scheds[i]
+	}
 }
 
 // plan rebuilds the pattern plan: the candidate visit order (stable

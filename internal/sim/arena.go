@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"sync"
+
+	"bittactical/internal/backend"
+	"bittactical/internal/fixed"
+	"bittactical/internal/sched"
+)
+
+// Per-group buffer reuse, mirroring the internal/sched kernel's arena
+// design. A figure sweep prepares tens of thousands of filter groups, and
+// before this file each prepared group heap-allocated its filter-row
+// materializations, its lane-reference and participation-mask grids, and
+// its chunk accumulators — identical shapes every time, with two distinct
+// lifetimes:
+//
+//   - groupScratch lives only within one prepareGroup call (weight rows,
+//     the filter headers over them, and the dense-schedule arena for
+//     front-end-less configs). Recycled the moment prepareGroup returns.
+//   - groupBufs lives from prepareGroup to finishGroup (lane refs, SWAR
+//     masks, per-row plane pointers, per-chunk PE totals). Recycled when
+//     the group's last window chunk folds.
+//
+// Both recycle through sync.Pools, so steady-state group turnover
+// allocates nothing once the pools have warmed to the largest group
+// shape. Buffers that are rebuilt wholesale (refs, planes, weights) are
+// reused dirty; buffers built incrementally (gated masks with |=, PE
+// totals with +=) are zeroed at carve time.
+
+// groupScratch is the transient working set of one prepareGroup call.
+type groupScratch struct {
+	weights []int32
+	filters []sched.Filter
+	// Dense-schedule arena for configs without a front-end; laid out like
+	// the sched kernel's arena (entries of filter i contiguous).
+	entries []sched.Entry
+	cols    []sched.Column
+	schs    []sched.Schedule
+	ptrs    []*sched.Schedule
+	// Arena-mode scheduler for the cache-disabled front-end path: the
+	// schedules are read only within prepareGroup, so the kernel arena's
+	// valid-until-next-call contract holds trivially.
+	sched *sched.Scheduler
+}
+
+var groupScratchPool = sync.Pool{New: func() any { return &groupScratch{} }}
+
+// groupBufs is the prepare-to-finish working set of one filter group.
+type groupBufs struct {
+	refs     []laneRef
+	masks    []uint64
+	planes   []*costPlane
+	peTotals []int64
+}
+
+var groupBufsPool = sync.Pool{New: func() any { return &groupBufs{} }}
+
+// release returns the group's buffers to the pool and severs the context's
+// views into them. Called by finishGroup after the fold; contexts built by
+// tests that never finish simply let the GC take the buffers.
+func (ctx *groupCtx) release() {
+	b := ctx.bufs
+	if b == nil {
+		return
+	}
+	ctx.bufs = nil
+	ctx.refs, ctx.masks, ctx.rowPlanes, ctx.peTotals = nil, nil, nil, nil
+	groupBufsPool.Put(b)
+}
+
+// grow returns sl with length n, reusing capacity when possible. Reused
+// contents are stale; see the lifetime notes above for which buffers
+// tolerate that.
+func grow[T any](sl []T, n int) []T {
+	if cap(sl) < n {
+		return make([]T, n)
+	}
+	return sl[:n]
+}
+
+// fullMasks memoizes the ungated participation mask per lane count: the
+// all-lanes SWAR mask is immutable and identical for every ungated group
+// of a given geometry, so groups share one slice instead of building one
+// each.
+var fullMasks sync.Map // int (lanes) -> []uint64
+
+func fullLaneMaskShared(lanes int) []uint64 {
+	if m, ok := fullMasks.Load(lanes); ok {
+		return m.([]uint64)
+	}
+	m, _ := fullMasks.LoadOrStore(lanes, fullLaneMask(lanes))
+	return m.([]uint64)
+}
+
+// costTableKey identifies a memoized cost table: back-ends ride by
+// registry name (names are unique per registry), widths in the clear.
+type costTableKey struct {
+	be string
+	w  fixed.Width
+}
+
+// costTables memoizes cost tables process-wide. A table is a pure
+// function of (back-end, width) — 2^width bytes built by 2^width Cost
+// calls — and the experiment drivers invoke the engine once per (config,
+// layer), so without the memo a full-zoo sweep rebuilt the same handful
+// of tables hundreds of times over.
+var costTables sync.Map // costTableKey -> *costTable
+
+func costTableFor(be backend.Backend, w fixed.Width) *costTable {
+	k := costTableKey{be: be.Name(), w: w}
+	if v, ok := costTables.Load(k); ok {
+		return v.(*costTable)
+	}
+	v, _ := costTables.LoadOrStore(k, newCostTable(be, w))
+	return v.(*costTable)
+}
+
+// denseSchedules builds the value-agnostic dense schedule — one column per
+// step, every weight in place, nothing skipped — in the scratch arena.
+// The schedules are consumed (census, activity, lane refs) before
+// prepareGroup returns, so arena backing is safe.
+func denseSchedules(sc *groupScratch, filters []sched.Filter) []*sched.Schedule {
+	nf := len(filters)
+	if nf == 0 {
+		return nil
+	}
+	lanes, steps := filters[0].Lanes, filters[0].Steps
+	sc.entries = grow(sc.entries, nf*steps*lanes)
+	sc.cols = grow(sc.cols, nf*steps)
+	sc.schs = grow(sc.schs, nf)
+	sc.ptrs = grow(sc.ptrs, nf)
+	for i, f := range filters {
+		for st := 0; st < steps; st++ {
+			ents := sc.entries[(i*steps+st)*lanes : (i*steps+st+1)*lanes]
+			for ln := 0; ln < lanes; ln++ {
+				if w := f.At(st, ln); w != 0 {
+					ents[ln] = sched.Entry{Weight: w, SrcStep: st, SrcLane: ln}
+				} else {
+					ents[ln] = sched.Entry{}
+				}
+			}
+			sc.cols[i*steps+st] = sched.Column{Head: st, Advance: 1, Entries: ents}
+		}
+		sc.schs[i] = sched.Schedule{Lanes: lanes, DenseSteps: steps}
+		if steps > 0 {
+			sc.schs[i].Columns = sc.cols[i*steps : (i+1)*steps]
+		}
+		sc.ptrs[i] = &sc.schs[i]
+	}
+	return sc.ptrs[:nf]
+}

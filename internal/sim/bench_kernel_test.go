@@ -1,84 +1,28 @@
-package sim
+// External test package: the emitter delegates to internal/bench, which
+// imports sim — an internal test file would close an import cycle.
+package sim_test
 
 import (
-	"encoding/json"
 	"os"
-	"runtime"
 	"testing"
-	"time"
+
+	"bittactical/internal/bench"
 )
 
-// TestEmitBenchKernel regenerates BENCH_kernel.json at the repo root: SWAR
-// vs scalar column-max ns/op and allocs/op per lane count, plus the
-// speedup, over the randomized 256-column workload. Gated behind
-// TCL_BENCH_KERNEL=1 (`make bench-kernel`).
+// TestEmitBenchKernel regenerates BENCH_kernel.json at the repo root
+// through the shared internal/bench kernel suite: SWAR vs scalar
+// column-max per lane count over the randomized 256-column workload.
+// Gated behind TCL_BENCH_KERNEL=1 (`make bench-kernel`); TCL_BENCH_FORCE=1
+// overrides the contended-baseline refusal.
 func TestEmitBenchKernel(t *testing.T) {
 	if os.Getenv("TCL_BENCH_KERNEL") == "" {
 		t.Skip("set TCL_BENCH_KERNEL=1 to regenerate BENCH_kernel.json")
 	}
-	type record struct {
-		Lanes        int     `json:"lanes"`
-		SWARNsPerOp  float64 `json:"swar_ns_per_op"`
-		SWARAllocs   int64   `json:"swar_allocs_per_op"`
-		ScalarNsOp   float64 `json:"scalar_ns_per_op"`
-		ScalarAllocs int64   `json:"scalar_allocs_per_op"`
-		Speedup      float64 `json:"swar_speedup_vs_scalar"`
-	}
-	out := struct {
-		Generated  string   `json:"generated"`
-		GoMaxProcs int      `json:"go_max_procs"`
-		NumCPU     int      `json:"num_cpu"`
-		Workload   string   `json:"workload"`
-		Benchmarks []record `json:"benchmarks"`
-	}{
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		Workload:   "256 random (cost, mask) columns cycled per op",
-	}
-	for _, lanes := range []int{8, 16, 32, 64} {
-		costs, masks := benchColumns(lanes)
-		var sink int
-		swar := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				j := i & 255
-				sink += columnMax(costs[j], masks[j])
-			}
-		})
-		scalar := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				j := i & 255
-				sink += columnMaxScalar(costs[j], masks[j])
-			}
-		})
-		benchSink = sink
-		nsOp := func(r testing.BenchmarkResult) float64 {
-			if r.N <= 0 {
-				return 0
-			}
-			return float64(r.T.Nanoseconds()) / float64(r.N)
-		}
-		rec := record{
-			Lanes:        lanes,
-			SWARNsPerOp:  nsOp(swar),
-			SWARAllocs:   int64(swar.AllocsPerOp()),
-			ScalarNsOp:   nsOp(scalar),
-			ScalarAllocs: int64(scalar.AllocsPerOp()),
-		}
-		if rec.SWARNsPerOp > 0 {
-			rec.Speedup = rec.ScalarNsOp / rec.SWARNsPerOp
-		}
-		out.Benchmarks = append(out.Benchmarks, rec)
-		t.Logf("lanes=%d: SWAR %.2f ns/op (%d allocs), scalar %.2f ns/op (%d allocs), %.2fx",
-			lanes, rec.SWARNsPerOp, rec.SWARAllocs, rec.ScalarNsOp, rec.ScalarAllocs, rec.Speedup)
-	}
-	buf, err := json.MarshalIndent(out, "", "  ")
+	f, err := bench.RunKernel(t.Logf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := os.WriteFile("../../BENCH_kernel.json", append(buf, '\n'), 0o644); err != nil {
+	if err := bench.WriteBaseline("../../BENCH_kernel.json", f, os.Getenv("TCL_BENCH_FORCE") != ""); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -37,7 +37,7 @@ func ExecuteGolden(cfg arch.Config, lw *nn.Lowered) error {
 				}
 			}
 		} else {
-			schedules = denseSchedules(filters)
+			schedules = denseSchedules(&groupScratch{}, filters)
 		}
 		for i, s := range schedules {
 			f := f0 + i

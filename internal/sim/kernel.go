@@ -85,6 +85,12 @@ func columnMaxScalar(cost []uint8, mask []uint64) int {
 	return peMax
 }
 
+// ColumnMax exposes the SWAR column-max to benchmark tooling outside the
+// package; ColumnMaxScalar is its executable reference. Engine code calls
+// the unexported kernels directly.
+func ColumnMax(cost []uint8, mask []uint64) int       { return columnMax(cost, mask) }
+func ColumnMaxScalar(cost []uint8, mask []uint64) int { return columnMaxScalar(cost, mask) }
+
 // fullLaneMask returns the participation mask with the first `lanes` lanes
 // set — the mask every PE row shares when the config has no front-end
 // (nothing gates ineffectual lanes out of the column sync).

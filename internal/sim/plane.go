@@ -1,40 +1,46 @@
 // Activation cost planes. The serial cost of an activation value — dynamic
 // precision bits for TCLp, Booth oneffsets for TCLe — depends only on the
-// value and the datapath width, and for row-invariant layers
-// (nn.Lowered.ActRowInvariant: FC and ungrouped conv) the activation behind
-// a (window, step, lane) slot is the same for every PE row. A costPlane
-// precomputes that cost for every slot of a lowered layer exactly once, so
-// the window walk gathers flat uint8s instead of re-deriving each cost
-// through an Act fetch and a costTable mask for every (column, row, window,
-// lane) tuple — work that previously repeated per filter group, per window
-// chunk, and per sweep config.
+// value and the datapath width, and the activation behind a (window, step,
+// lane) slot depends on the PE row's filter index only through the
+// filter's act group (nn.Lowered.ActGroups): not at all for FC and
+// ungrouped conv (one group), through the input-channel slice for grouped
+// conv (one group per filter group), and through the channel itself for
+// depthwise (one group per filter). A costPlane precomputes that cost for
+// every slot of one (layer, act group) exactly once, so the window walk
+// gathers flat uint8s instead of re-deriving each cost through an Act
+// fetch and a costTable mask for every (column, row, window, lane) tuple —
+// work that previously repeated per filter group, per window chunk, and
+// per sweep config, and that row-variant layers repeated per PE row.
 //
-// A plane is a pure function of (activations, lowering geometry, back-end,
-// width). It does not depend on the front-end pattern, the scheduling
-// algorithm, tile geometry, or the weights, which is why one plane is
-// shared across every config of a sweep that fixes the back-end and width
-// (PlaneCache).
+// A plane is a pure function of (activations, lowering geometry, act
+// group, back-end, width). It does not depend on the front-end pattern,
+// the scheduling algorithm, tile geometry, or the weights, which is why
+// one plane is shared across every config of a sweep that fixes the
+// back-end and width (PlaneCache).
 package sim
 
 import (
 	"bittactical/internal/nn"
 )
 
-// costPlane stores each activation's serial cost for one lowered layer at
-// one (back-end, width): a packed [WindowCount][Steps][Lanes]uint8, lane
-// innermost, matching the dense-schedule coordinates the lane references
-// index. Planes are immutable after build and shared read-only across
-// goroutines, groups, chunks, and configs.
+// costPlane stores each activation's serial cost for one (lowered layer,
+// act group) at one (back-end, width): a packed
+// [WindowCount][Steps][Lanes]uint8, lane innermost, matching the
+// dense-schedule coordinates the lane references index. Planes are
+// immutable after build and shared read-only across goroutines, groups,
+// chunks, and configs.
 type costPlane struct {
 	steps, lanes int
 	data         []uint8
 }
 
-// buildPlane evaluates the layer's activation costs once per slot. Only
-// legal for row-invariant layers: the fetch uses filter index 0, which
-// ActRowInvariant guarantees is representative of every row.
-func buildPlane(lw *nn.Lowered, ct *costTable) *costPlane {
+// buildPlane evaluates one act group's activation costs once per slot.
+// The fetch uses the group's representative filter index, which
+// ActGroupRep guarantees is representative of every PE row whose filter
+// falls in the group.
+func buildPlane(lw *nn.Lowered, ct *costTable, actGroup int) *costPlane {
 	steps, lanes := lw.Steps, lw.Lanes
+	rep := lw.ActGroupRep(actGroup)
 	p := &costPlane{
 		steps: steps,
 		lanes: lanes,
@@ -44,7 +50,7 @@ func buildPlane(lw *nn.Lowered, ct *costTable) *costPlane {
 	for win := 0; win < lw.WindowCount; win++ {
 		for st := 0; st < steps; st++ {
 			for ln := 0; ln < lanes; ln++ {
-				p.data[i] = ct.costU8(lw.Act(0, win, st, ln))
+				p.data[i] = ct.costU8(lw.Act(rep, win, st, ln))
 				i++
 			}
 		}

@@ -45,7 +45,7 @@ func TestPlaneMatchesPerRowRecompute(t *testing.T) {
 		}
 		for _, cfg := range serialConfigs() {
 			ct := newCostTable(cfg.Backend, cfg.Width)
-			plane := buildPlane(lw, ct)
+			plane := buildPlane(lw, ct, 0)
 			pad := padMask(lw)
 			for f0 := 0; f0 < lw.Filters; f0 += cfg.FiltersPerTile {
 				f1 := min(f0+cfg.FiltersPerTile, lw.Filters)
@@ -53,8 +53,12 @@ func TestPlaneMatchesPerRowRecompute(t *testing.T) {
 				if !ctx.needsWindows {
 					t.Fatalf("%s/%s: serial config did not need windows", lw.Name, cfg.Name)
 				}
-				got := ctx.evalWindows(cfg, lw, ct, plane, 0, lw.WindowCount)
-				want := ctx.evalWindows(cfg, lw, ct, nil, 0, lw.WindowCount)
+				rp := make([]*costPlane, f1-f0)
+				for i := range rp {
+					rp[i] = plane
+				}
+				got := ctx.evalWindows(cfg, lw, ct, rp, 0, lw.WindowCount, nil)
+				want := ctx.evalWindows(cfg, lw, ct, nil, 0, lw.WindowCount, nil)
 				if !reflect.DeepEqual(got, want) {
 					t.Errorf("%s/%s group [%d,%d): plane partial differs from per-row recompute\nplane: %+v\nref:   %+v",
 						lw.Name, cfg.Name, f0, f1, got, want)
@@ -123,7 +127,7 @@ func TestPlaneCacheEviction(t *testing.T) {
 	lw := testFC(t, 27, 20, 40, 18, 0.7)
 	beE, beP := arch.TCLe.Impl(), arch.TCLp.Impl()
 	ct := newCostTable(beE, fixed.W16)
-	one := buildPlane(lw, ct).sizeBytes()
+	one := buildPlane(lw, ct, 0).sizeBytes()
 	c := NewPlaneCache(one + one/2) // fits one plane, not two
 	c.get(lw, beE, fixed.W16, ct)
 	c.get(lw, beP, fixed.W16, newCostTable(beP, fixed.W16))

@@ -36,6 +36,14 @@ type PlaneCache struct {
 	hits      atomic.Int64
 	misses    atomic.Int64
 	evictions atomic.Int64
+
+	// Grouped-plane counters: the same events, restricted to planes of
+	// row-variant layers (act group in the key). They answer the question
+	// the aggregate counters cannot: is the grouped/depthwise fast path
+	// actually being taken, and is it churning the budget?
+	groupBuilds    atomic.Int64
+	groupHits      atomic.Int64
+	groupEvictions atomic.Int64
 }
 
 // planeEntry single-flights one plane build: the creator runs the Once body;
@@ -45,16 +53,20 @@ type planeEntry struct {
 	plane *costPlane
 }
 
-// planeKey identifies one (layer activations+geometry, back-end, width)
-// triple. Two independent 64-bit hash streams over the full content make an
-// accidental collision implausible at any realistic cache size. The
-// back-end rides in the key by registry name, in the clear: any two
-// registered back-ends — including plugins the engine has never heard of —
-// key distinct planes at the same width.
+// planeKey identifies one (layer activations+geometry, act group,
+// back-end, width) tuple. Two independent 64-bit hash streams over the
+// full content make an accidental collision implausible at any realistic
+// cache size. The back-end rides in the key by registry name, in the
+// clear: any two registered back-ends — including plugins the engine has
+// never heard of — key distinct planes at the same width. The act group
+// rides in the clear too (-1 for row-invariant layers, the group index
+// for grouped/depthwise), so a grouped layer's planes share one content
+// hash instead of re-hashing the input tensor per group.
 type planeKey struct {
 	h1, h2 uint64
 	be     string
 	width  fixed.Width
+	group  int
 }
 
 // defaultPlaneCacheBytes bounds resident plane bytes. Planes are large (a
@@ -117,26 +129,42 @@ func planeKeyOf(lw *nn.Lowered, be backend.Backend, w fixed.Width) planeKey {
 	for _, v := range in.Data {
 		mix(int64(v))
 	}
-	return planeKey{h1: h1, h2: h2, be: be.Name(), width: w}
+	return planeKey{h1: h1, h2: h2, be: be.Name(), width: w, group: -1}
 }
 
 // get returns the memoized plane for (lw, be, w), building and storing it
 // on first use. ct must be the cost table of (be, w); it is consulted only
-// on a fill.
+// on a fill. This is the single-plane entry point for row-invariant
+// layers; grouped layers go through getKeyed with a precomputed base key
+// so the input tensor is hashed once per layer, not once per act group.
 func (c *PlaneCache) get(lw *nn.Lowered, be backend.Backend, w fixed.Width, ct *costTable) *costPlane {
-	key := planeKeyOf(lw, be, w)
+	return c.getKeyed(planeKeyOf(lw, be, w), lw, ct, 0)
+}
+
+// getKeyed is get with the key fully formed by the caller: key.group is
+// -1 for row-invariant layers and the act group index otherwise, and
+// actGroup is the group a fill builds from. Grouped events additionally
+// tick the sim_plane_group_* counters.
+func (c *PlaneCache) getKeyed(key planeKey, lw *nn.Lowered, ct *costTable, actGroup int) *costPlane {
+	grouped := key.group >= 0
 	c.mu.Lock()
 	e, ok := c.m[key]
 	if ok {
 		c.hits.Add(1)
+		if grouped {
+			c.groupHits.Add(1)
+		}
 	} else {
 		c.misses.Add(1)
+		if grouped {
+			c.groupBuilds.Add(1)
+		}
 		e = &planeEntry{}
 		c.m[key] = e
 	}
 	c.mu.Unlock()
 	e.once.Do(func() {
-		e.plane = buildPlane(lw, ct)
+		e.plane = buildPlane(lw, ct, actGroup)
 		c.mu.Lock()
 		// Account the bytes only if the entry is still resident: an overflow
 		// drop that raced this build already discarded it from the map, and
@@ -145,6 +173,11 @@ func (c *PlaneCache) get(lw *nn.Lowered, be backend.Backend, w fixed.Width, ct *
 			c.bytes += e.plane.sizeBytes()
 			if c.bytes > c.maxBytes {
 				c.evictions.Add(int64(len(c.m) - 1))
+				for k2 := range c.m {
+					if k2 != key && k2.group >= 0 {
+						c.groupEvictions.Add(1)
+					}
+				}
 				c.m = map[planeKey]*planeEntry{key: e}
 				c.bytes = e.plane.sizeBytes()
 			}
@@ -164,6 +197,11 @@ type PlaneCacheStats struct {
 	Evictions int64
 	Entries   int
 	Bytes     int64
+
+	// Grouped-plane (row-variant layer) slices of the same events.
+	GroupBuilds    int64
+	GroupHits      int64
+	GroupEvictions int64
 }
 
 // Stats reports lifetime hit/miss/eviction counters and current residency.
@@ -172,11 +210,14 @@ func (c *PlaneCache) Stats() PlaneCacheStats {
 	n, b := len(c.m), c.bytes
 	c.mu.Unlock()
 	return PlaneCacheStats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		Evictions: c.evictions.Load(),
-		Entries:   n,
-		Bytes:     b,
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Evictions:      c.evictions.Load(),
+		Entries:        n,
+		Bytes:          b,
+		GroupBuilds:    c.groupBuilds.Load(),
+		GroupHits:      c.groupHits.Load(),
+		GroupEvictions: c.groupEvictions.Load(),
 	}
 }
 
@@ -197,6 +238,9 @@ func (c *PlaneCache) RegisterMetrics(r *metrics.Registry, prefix string) {
 		defer c.mu.Unlock()
 		return c.bytes
 	})
+	r.Func(prefix+"_group_builds", c.groupBuilds.Load)
+	r.Func(prefix+"_group_hits", c.groupHits.Load)
+	r.Func(prefix+"_group_evictions", c.groupEvictions.Load)
 }
 
 // Reset drops every entry and zeroes the counters. The dropped entries are
@@ -209,4 +253,7 @@ func (c *PlaneCache) Reset() {
 	c.hits.Store(0)
 	c.misses.Store(0)
 	c.evictions.Store(0)
+	c.groupBuilds.Store(0)
+	c.groupHits.Store(0)
+	c.groupEvictions.Store(0)
 }

@@ -110,37 +110,63 @@ type configWork struct {
 	cfg    arch.Config
 	lws    []*nn.Lowered
 	ct     *costTable
-	pads   [][]bool
-	planes []planeSlot
-	accums [][]groupAccum
-	// Per-layer latency tracking: first-touch timestamp (CAS once) and a
-	// countdown of unfinished groups; the worker finishing a layer's last
-	// group observes the span.
-	layerStart     []atomic.Int64
-	layerRemaining []atomic.Int32
+	keyer  *sched.Keyer // pre-keyed schedule-cache handle; nil when caching is off
+	layers []layerWork
 }
 
-// planeSlot resolves one layer's activation cost plane at most once per
-// run, whichever chunk worker gets there first; concurrent chunks of other
-// groups of the same layer wait on the Once instead of duplicating the
-// cache lookup (and, through the cache's own single-flight, the build).
+// layerWork is one layer's slice of a config's run state, kept in a single
+// per-config array so engine entry costs one allocation for all of it.
+type layerWork struct {
+	pad    []bool
+	planes layerPlanes
+	accums []groupAccum
+	// Latency tracking: first-touch timestamp (CAS once) and a countdown
+	// of unfinished groups; the worker finishing the layer's last group
+	// observes the span.
+	start     atomic.Int64
+	remaining atomic.Int32
+}
+
+// planeSlot resolves one (layer, act group) activation cost plane at most
+// once per run, whichever chunk worker gets there first; concurrent
+// chunks of other groups of the same layer wait on the Once instead of
+// duplicating the cache lookup (and, through the cache's own
+// single-flight, the build).
 type planeSlot struct {
 	once  sync.Once
 	plane *costPlane
 }
 
-// planeFor returns layer li's cost plane, from the cache when one is
-// configured, built privately otherwise. Only called for row-invariant
-// layers under a serial back-end — the combination the plane layout is
-// defined for.
-func (cw *configWork) planeFor(li int, pc *PlaneCache) *costPlane {
-	s := &cw.planes[li]
+// layerPlanes is one layer's plane slots, one per act group (a single
+// slot for row-invariant layers), plus the lazily computed cache base key
+// they share — a grouped layer must hash its input tensor once, not once
+// per act group.
+type layerPlanes struct {
+	keyOnce sync.Once
+	baseKey planeKey
+	slots   []planeSlot
+}
+
+// planeFor returns the cost plane of layer li's act group, from the cache
+// when one is configured, built privately otherwise. Only called under a
+// serial back-end — the path the plane layout is defined for.
+func (cw *configWork) planeFor(li, actGroup int, pc *PlaneCache) *costPlane {
+	lp := &cw.layers[li].planes
+	s := &lp.slots[actGroup]
 	s.once.Do(func() {
-		if pc != nil {
-			s.plane = pc.get(cw.lws[li], cw.cfg.Backend, cw.cfg.Width, cw.ct)
-		} else {
-			s.plane = buildPlane(cw.lws[li], cw.ct)
+		lw := cw.lws[li]
+		if pc == nil {
+			s.plane = buildPlane(lw, cw.ct, actGroup)
+			return
 		}
+		lp.keyOnce.Do(func() {
+			lp.baseKey = planeKeyOf(lw, cw.cfg.Backend, cw.cfg.Width)
+		})
+		key := lp.baseKey
+		if len(lp.slots) > 1 {
+			key.group = actGroup
+		}
+		s.plane = pc.getKeyed(key, lw, cw.ct, actGroup)
 	})
 	return s.plane
 }
@@ -152,13 +178,39 @@ func (cw *configWork) planeFor(li int, pc *PlaneCache) *costPlane {
 // the context, keeping peak memory at the pre-chunking level. Every partial
 // is a plain integer sum, so the fold is exact regardless of chunk count or
 // completion order — parallel output stays bit-identical to serial at any
-// worker count.
+// worker count. The context lives inline (ctxStore) so group turnover
+// costs no allocation; its pooled buffers return to the arena when the
+// fold releases them.
 type groupAccum struct {
 	once      sync.Once
 	ctx       *groupCtx
+	ctxStore  groupCtx
 	partials  []windowPartial
 	remaining atomic.Int32
 	result    groupResult
+}
+
+// layerChunks is the sweep's work-splitting arithmetic for one (config,
+// layer): how many window chunks each filter group splits into, the
+// layer's dense group count, and its window-group count. Sub-group
+// splitting engages only when whole groups — across the whole sweep —
+// cannot occupy the pool, and only for the serial back-ends whose
+// per-window evaluation dominates (the bit-parallel path is already
+// window-independent and cheap). Chunks stay aligned to the tile's
+// window-group size so each chunk sees whole window groups (the unit the
+// PE-total accumulation is indexed by).
+func layerChunks(cfg arch.Config, lw *nn.Lowered, totalGroups, workers int) (nChunks, denseGroups, windowGroups int) {
+	denseGroups = (lw.Filters + cfg.FiltersPerTile - 1) / cfg.FiltersPerTile
+	windowGroups = (lw.WindowCount + cfg.WindowsPerTile - 1) / cfg.WindowsPerTile
+	chunksPerGroup := 1
+	if cfg.Serial() && totalGroups > 0 && totalGroups < workers {
+		chunksPerGroup = (workers + totalGroups - 1) / totalGroups
+	}
+	nChunks = min(chunksPerGroup, windowGroups)
+	if nChunks < 1 {
+		nChunks = 1
+	}
+	return nChunks, denseGroups, windowGroups
 }
 
 // simulateLayers runs one config — the single-entry case of the sweep core.
@@ -195,47 +247,52 @@ func simulateSweep(ctx context.Context, cfgs []arch.Config, lwss [][]*nn.Lowered
 		}
 	}
 
-	var items []workItem
+	// Exact item count up front — chunking only expands the queue when
+	// groups alone cannot fill the pool, and the expansion factor depends
+	// on totalGroups, so this needs its own pass. layerChunks is the single
+	// source of the per-layer chunk arithmetic the build loop reuses.
+	totalItems := 0
+	for k, cfg := range cfgs {
+		for _, lw := range lwss[k] {
+			nChunks, denseGroups, _ := layerChunks(cfg, lw, totalGroups, workers)
+			totalItems += denseGroups * nChunks
+		}
+	}
+	items := make([]workItem, 0, totalItems)
 	for k, cfg := range cfgs {
 		lws := lwss[k]
 		cw := &configWork{
-			cfg:            cfg,
-			lws:            lws,
-			ct:             newCostTable(cfg.Backend, cfg.Width),
-			pads:           make([][]bool, len(lws)),
-			planes:         make([]planeSlot, len(lws)),
-			accums:         make([][]groupAccum, len(lws)),
-			layerStart:     make([]atomic.Int64, len(lws)),
-			layerRemaining: make([]atomic.Int32, len(lws)),
+			cfg:    cfg,
+			lws:    lws,
+			ct:     costTableFor(cfg.Backend, cfg.Width),
+			layers: make([]layerWork, len(lws)),
+		}
+		if cache != nil && cfg.HasFrontEnd() {
+			// Key the cache once per (config): the pattern key and algorithm
+			// tag are shared by every group lookup below, so per-group calls
+			// hash only filter contents.
+			ky := cache.Keyer(cfg.Pattern, cfg.Scheduler)
+			cw.keyer = &ky
 		}
 		works[k] = cw
 		rows := cfg.FiltersPerTile
-		// Sub-group split factor: only when whole groups — across the whole
-		// sweep — cannot occupy the pool, and only for the serial back-ends
-		// whose per-window evaluation dominates (the bit-parallel path is
-		// already window-independent and cheap).
-		chunksPerGroup := 1
-		if cfg.Serial() && totalGroups > 0 && totalGroups < workers {
-			chunksPerGroup = (workers + totalGroups - 1) / totalGroups
-		}
 		for li, lw := range lws {
-			cw.pads[li] = padMask(lw)
-			denseGroups := (lw.Filters + rows - 1) / rows
-			cw.accums[li] = make([]groupAccum, denseGroups)
-			cw.layerRemaining[li].Store(int32(denseGroups))
-			// Chunks are aligned to the tile's window-group size so each chunk
-			// sees whole window groups (the unit the PE-total accumulation is
-			// indexed by).
-			windowGroups := (lw.WindowCount + cfg.WindowsPerTile - 1) / cfg.WindowsPerTile
-			nChunks := min(chunksPerGroup, windowGroups)
-			if nChunks < 1 {
-				nChunks = 1
+			lwk := &cw.layers[li]
+			lwk.pad = padMask(lw)
+			if cfg.Serial() {
+				lwk.planes.slots = make([]planeSlot, lw.ActGroups())
 			}
+			nChunks, denseGroups, windowGroups := layerChunks(cfg, lw, totalGroups, workers)
+			lwk.accums = make([]groupAccum, denseGroups)
+			lwk.remaining.Store(int32(denseGroups))
+			// One flat partial array per layer; each group views its chunk
+			// range, so the per-group slice costs nothing.
+			layerPartials := make([]windowPartial, denseGroups*nChunks)
 			for g := 0; g < denseGroups; g++ {
 				f0 := g * rows
 				f1 := min(f0+rows, lw.Filters)
-				ga := &cw.accums[li][g]
-				ga.partials = make([]windowPartial, nChunks)
+				ga := &lwk.accums[g]
+				ga.partials = layerPartials[g*nChunks : (g+1)*nChunks]
 				ga.remaining.Store(int32(nChunks))
 				for c := 0; c < nChunks; c++ {
 					// Even split of window groups across chunks, in window units.
@@ -255,27 +312,33 @@ func simulateSweep(ctx context.Context, cfgs []arch.Config, lwss [][]*nn.Lowered
 		it := items[i]
 		cw := it.work
 		lw := cw.lws[it.layer]
-		if cw.layerStart[it.layer].Load() == 0 {
-			cw.layerStart[it.layer].CompareAndSwap(0, time.Now().UnixNano())
+		lwk := &cw.layers[it.layer]
+		if lwk.start.Load() == 0 {
+			lwk.start.CompareAndSwap(0, time.Now().UnixNano())
 		}
-		ga := &cw.accums[it.layer][it.group]
+		ga := &lwk.accums[it.group]
 		ga.once.Do(func() {
-			ga.ctx = prepareGroup(cw.cfg, lw, cw.ct, cw.pads[it.layer], it.f0, it.f1, cache)
+			prepareGroupInto(&ga.ctxStore, cw.cfg, lw, cw.ct, lwk.pad, it.f0, it.f1, len(ga.partials), cw.keyer)
+			ga.ctx = &ga.ctxStore
+			if ga.ctx.needsWindows {
+				// Resolve each PE row's act-group plane once per group; a
+				// resident group of a grouped/depthwise layer can straddle an
+				// act-group boundary, so rows index their own plane.
+				for ri := range ga.ctx.rowPlanes {
+					ga.ctx.rowPlanes[ri] = cw.planeFor(it.layer, lw.ActGroupOf(it.f0+ri), planeCache)
+				}
+			}
 		})
 		var wp windowPartial
 		if ga.ctx.needsWindows {
-			var plane *costPlane
-			if ga.ctx.rowInv {
-				plane = cw.planeFor(it.layer, planeCache)
-			}
-			wp = ga.ctx.evalWindows(cw.cfg, lw, cw.ct, plane, it.w0, it.w1)
+			wp = ga.ctx.evalWindows(cw.cfg, lw, cw.ct, ga.ctx.rowPlanes, it.w0, it.w1, ga.ctx.peChunk(it.chunk))
 		}
 		ga.partials[it.chunk] = wp
 		if ga.remaining.Add(-1) == 0 {
 			ga.result = finishGroup(cw.cfg, ga.ctx, ga.partials)
 			ga.ctx = nil
-			if cw.layerRemaining[it.layer].Add(-1) == 0 {
-				layerLatency.Observe(time.Duration(time.Now().UnixNano() - cw.layerStart[it.layer].Load()))
+			if lwk.remaining.Add(-1) == 0 {
+				layerLatency.Observe(time.Duration(time.Now().UnixNano() - lwk.start.Load()))
 			}
 		}
 	})
@@ -290,11 +353,7 @@ func simulateSweep(ctx context.Context, cfgs []arch.Config, lwss [][]*nn.Lowered
 	for k, cw := range works {
 		out[k] = make([]LayerResult, len(cw.lws))
 		for li, lw := range cw.lws {
-			outcomes := make([]groupResult, len(cw.accums[li]))
-			for g := range cw.accums[li] {
-				outcomes[g] = cw.accums[li][g].result
-			}
-			out[k][li] = mergeLayer(cw.cfg, lw, outcomes)
+			out[k][li] = mergeLayer(cw.cfg, lw, cw.layers[li].accums)
 		}
 	}
 	return out, nil
@@ -302,7 +361,7 @@ func simulateSweep(ctx context.Context, cfgs []arch.Config, lwss [][]*nn.Lowered
 
 // mergeLayer folds the per-group shards into one LayerResult, in group
 // order, reproducing exactly the accumulation the serial engine performs.
-func mergeLayer(cfg arch.Config, lw *nn.Lowered, outcomes []groupResult) LayerResult {
+func mergeLayer(cfg arch.Config, lw *nn.Lowered, accums []groupAccum) LayerResult {
 	r := LayerResult{Name: lw.Name, MACs: lw.Layer().MACs()}
 
 	rows := cfg.FiltersPerTile
@@ -335,8 +394,17 @@ func mergeLayer(cfg arch.Config, lw *nn.Lowered, outcomes []groupResult) LayerRe
 	}
 	r.Activity.ActReads = int64(len(lw.Input().Data)) * rowsPerAct * int64(tilesUsed)
 
-	tileTime := make([]int64, cfg.Tiles)
-	for g, gr := range outcomes {
+	// Tile counts are single digits in every modeled design; spill to the
+	// heap only past 16.
+	var ttBuf [16]int64
+	tileTime := ttBuf[:]
+	if cfg.Tiles <= len(ttBuf) {
+		tileTime = ttBuf[:cfg.Tiles]
+	} else {
+		tileTime = make([]int64, cfg.Tiles)
+	}
+	for g := range accums {
+		gr := &accums[g].result
 		groupCycles := gr.cycles
 		if split > 1 {
 			groupCycles = (groupCycles + int64(split) - 1) / int64(split)
@@ -363,23 +431,10 @@ func mergeLayer(cfg arch.Config, lw *nn.Lowered, outcomes []groupResult) LayerRe
 	return r
 }
 
-// padMask materializes the channel-padding mask of the dense schedule, or
-// nil when the layer has none.
+// padMask is the channel-padding mask of the dense schedule, or nil when
+// the layer has none — memoized on the lowering, shared across configs.
 func padMask(lw *nn.Lowered) []bool {
-	pad := make([]bool, lw.Steps*lw.Lanes)
-	any := false
-	for st := 0; st < lw.Steps; st++ {
-		for ln := 0; ln < lw.Lanes; ln++ {
-			if lw.IsPad(st, ln) {
-				pad[st*lw.Lanes+ln] = true
-				any = true
-			}
-		}
-	}
-	if !any {
-		return nil
-	}
-	return pad
+	return lw.PadMask()
 }
 
 // laneRef is one lane's activation source in one schedule column: the
@@ -404,19 +459,44 @@ type groupResult struct {
 
 // groupCtx is the window-independent state of one filter group, built once
 // per group (under the groupAccum's Once) and shared read-only by every
-// window chunk of that group.
+// window chunk of that group. Its grids live in one pooled arena
+// (groupBufs), flattened: refs[(ci*nrows+ri)*lanes+ln] is lane ln's
+// activation source in column ci of row ri's schedule.
 type groupCtx struct {
 	f0, f1       int
 	nrows, cols  int
 	needsWindows bool // serial back-ends walk windows; bit-parallel is done at prepare
-	colRefs      [][][]laneRef
-	// colMasks[ci][ri] is the packed SWAR participation mask of one (column,
-	// row): 0xFF bytes for lanes that join the column sync (effectual
-	// weights, or every lane when the config has no front-end to gate the
-	// rest), 0x00 elsewhere. Gate-free groups share one fullLaneMask slice.
-	colMasks     [][][]uint64
-	gate, rowInv bool
-	base         groupResult // window-independent accumulations (full result when !needsWindows)
+	refs         []laneRef
+	// masks holds the packed SWAR participation masks: 0xFF bytes for lanes
+	// that join the column sync (effectual weights, or every lane when the
+	// config has no front-end to gate the rest), 0x00 elsewhere. Gated
+	// groups store one maskStride-word mask per (column, row) at
+	// (ci*nrows+ri)*maskStride; gate-free groups set maskStride to 0 and
+	// share the memoized all-lanes mask directly.
+	masks      []uint64
+	maskStride int
+	// rowPlanes[ri] is PE row ri's activation cost plane (rows of one act
+	// group share a plane; row-invariant layers share one across all
+	// rows). Resolved by the engine under the groupAccum Once; nil only on
+	// the differential tests' reference path.
+	rowPlanes []*costPlane
+	// peTotals is the engine's pre-zeroed per-chunk accumulator arena
+	// (nChunks strides of peStride = nrows*WindowsPerTile); peChunk hands
+	// each chunk its stride. Test-built contexts leave it nil and
+	// evalWindows allocates per call.
+	peTotals []int64
+	peStride int
+	bufs     *groupBufs // backing arena, returned to the pool at release
+	gate     bool
+	base     groupResult // window-independent accumulations (full result when !needsWindows)
+}
+
+// peChunk is window chunk c's view of the group's PE-total arena.
+func (ctx *groupCtx) peChunk(c int) []int64 {
+	if ctx.peTotals == nil {
+		return nil
+	}
+	return ctx.peTotals[c*ctx.peStride : (c+1)*ctx.peStride]
 }
 
 // windowPartial is one chunk's contribution: per-(row, PE column) cycle
@@ -429,30 +509,57 @@ type windowPartial struct {
 	serial   int64
 }
 
-// prepareGroup builds one resident filter group's shared context: filters,
-// schedules, the front-end census, datapath activity that depends only on
-// column structure, and the per-column lane references the window walk
-// consumes. For the bit-parallel back-end the group's full result is
+// prepareGroup is prepareGroupInto for a fresh single-chunk context — the
+// differential tests' entry point.
+func prepareGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f0, f1 int, keyer *sched.Keyer) *groupCtx {
+	ctx := new(groupCtx)
+	prepareGroupInto(ctx, cfg, lw, ct, pad, f0, f1, 1, keyer)
+	return ctx
+}
+
+// prepareGroupInto builds one resident filter group's shared context:
+// filters, schedules, the front-end census, datapath activity that depends
+// only on column structure, and the per-column lane references the window
+// walk consumes. For the bit-parallel back-end the group's full result is
 // computed here (its cost model is window-independent).
-func prepareGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f0, f1 int, cache *sched.Cache) *groupCtx {
+//
+// Filter rows are materialized into a pooled scratch arena that is
+// recycled before returning — safe because schedules never retain their
+// filters (sched.NewFilter wraps the row slice, and both the cache and
+// the kernel copy entry data, not weights). The context's own grids carve
+// from a second pooled arena held until finishGroup releases it.
+func prepareGroupInto(ctx *groupCtx, cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f0, f1, nChunks int, keyer *sched.Keyer) {
 	lanes, rows, wg := cfg.Lanes, cfg.FiltersPerTile, cfg.WindowsPerTile
 	steps, W := lw.Steps, lw.WindowCount
 	nrows := f1 - f0
-	ctx := &groupCtx{f0: f0, f1: f1, nrows: nrows}
+	*ctx = groupCtx{f0: f0, f1: f1, nrows: nrows}
 	r := &ctx.base
 
-	filters := make([]sched.Filter, nrows)
+	sc := groupScratchPool.Get().(*groupScratch)
+	defer groupScratchPool.Put(sc)
+	sc.weights = grow(sc.weights, nrows*steps*lanes)
+	sc.filters = grow(sc.filters, nrows)
+	filters := sc.filters[:nrows]
 	for i := 0; i < nrows; i++ {
-		filters[i] = sched.NewFilter(lanes, steps, lw.FilterRow(f0+i), pad)
+		row := sc.weights[i*steps*lanes : (i+1)*steps*lanes]
+		lw.FilterRowInto(f0+i, row)
+		filters[i] = sched.NewFilter(lanes, steps, row, pad)
 	}
 	var schedules []*sched.Schedule
 	switch {
 	case !cfg.HasFrontEnd():
-		schedules = denseSchedules(filters)
-	case cache != nil:
-		schedules = cache.ScheduleGroup(filters, cfg.Pattern, cfg.Scheduler)
+		schedules = denseSchedules(sc, filters)
+	case keyer != nil:
+		h1, h2 := sched.HashFilters(filters)
+		schedules = keyer.ScheduleGroup(h1, h2, filters)
 	default:
-		schedules = sched.ScheduleGroup(filters, cfg.Pattern, cfg.Scheduler)
+		// Cache disabled: schedule in the scratch's own arena-mode kernel;
+		// the schedules are read below and dropped, so arena reuse on the
+		// next prepare is safe.
+		if sc.sched == nil {
+			sc.sched = sched.NewScheduler()
+		}
+		schedules = sc.sched.ScheduleGroup(filters, cfg.Pattern, cfg.Scheduler)
 	}
 	cols := 0
 	if nrows > 0 {
@@ -495,7 +602,7 @@ func prepareGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f0
 		}
 		r.activity.ParallelMACs += macs * int64(W)
 		r.cycles = int64(cols) * int64(W)
-		return ctx
+		return
 	}
 	ctx.needsWindows = true
 	if cfg.Backend.OffsetEncoder() {
@@ -504,24 +611,38 @@ func prepareGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f0
 
 	// Serial back-ends: column structure is window-independent; precompute
 	// per-column, per-row lane references and SWAR participation masks once,
-	// shared by every chunk.
+	// shared by every chunk. All grids carve from one pooled arena: refs and
+	// rowPlanes are rebuilt wholesale (reused dirty); the |=-built gated
+	// masks and +=-folded PE totals are zeroed at carve.
 	ctx.gate = cfg.HasFrontEnd()
-	ctx.rowInv = lw.ActRowInvariant()
-	var sharedMask []uint64
-	if !ctx.gate {
-		sharedMask = fullLaneMask(lanes)
+	b := groupBufsPool.Get().(*groupBufs)
+	ctx.bufs = b
+	b.refs = grow(b.refs, cols*nrows*lanes)
+	ctx.refs = b.refs[:cols*nrows*lanes]
+	mw := laneWords(lanes)
+	if ctx.gate {
+		b.masks = grow(b.masks, cols*nrows*mw)
+		ctx.masks = b.masks[:cols*nrows*mw]
+		clear(ctx.masks)
+		ctx.maskStride = mw
+	} else {
+		ctx.masks = fullLaneMaskShared(lanes)
+		ctx.maskStride = 0
 	}
-	ctx.colRefs = make([][][]laneRef, cols)
-	ctx.colMasks = make([][][]uint64, cols)
+	b.planes = grow(b.planes, nrows)
+	ctx.rowPlanes = b.planes[:nrows]
+	clear(ctx.rowPlanes)
+	ctx.peStride = nrows * wg
+	b.peTotals = grow(b.peTotals, nChunks*ctx.peStride)
+	ctx.peTotals = b.peTotals[:nChunks*ctx.peStride]
+	clear(ctx.peTotals)
 	for ci := 0; ci < cols; ci++ {
-		ctx.colRefs[ci] = make([][]laneRef, nrows)
-		ctx.colMasks[ci] = make([][]uint64, nrows)
 		for ri := 0; ri < nrows; ri++ {
 			col := schedules[ri].Columns[ci]
-			refs := make([]laneRef, lanes)
-			mask := sharedMask
+			refs := ctx.refs[(ci*nrows+ri)*lanes : (ci*nrows+ri+1)*lanes]
+			var mask []uint64
 			if ctx.gate {
-				mask = make([]uint64, laneWords(lanes))
+				mask = ctx.masks[(ci*nrows+ri)*mw : (ci*nrows+ri+1)*mw]
 			}
 			for ln, e := range col.Entries {
 				if e.Weight != 0 {
@@ -540,11 +661,8 @@ func prepareGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f0
 					}
 				}
 			}
-			ctx.colRefs[ci][ri] = refs
-			ctx.colMasks[ci][ri] = mask
 		}
 	}
-	return ctx
 }
 
 // evalWindows walks the serial back-end over the window range [w0, w1) —
@@ -561,19 +679,30 @@ func prepareGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f0
 //
 // Cost evaluation is single-pass: each lane's serial cost lands once per
 // (column, row, window) in laneCost, feeding both the SWAR column-max
-// (columnMax over the group's participation mask) and the census. When a
-// cost plane is supplied (row-invariant layers), costs are gathered from
-// the plane's window slice by precomputed flat offset — no Act fetch, no
-// costTable mask, no per-chunk grid build. plane == nil falls back to
-// fetching each cost through lw.Act with the row's own filter index; the
-// engine takes that path for row-variant layers (grouped/depthwise conv),
-// and the differential tests drive it on row-invariant layers too, as the
-// executable reference the plane gather is pinned against.
-func (ctx *groupCtx) evalWindows(cfg arch.Config, lw *nn.Lowered, ct *costTable, plane *costPlane, wLo, wHi int) windowPartial {
+// (columnMax over the group's participation mask) and the census. When
+// per-row cost planes are supplied, costs are gathered from the row's
+// plane window slice by precomputed flat offset — no Act fetch, no
+// costTable mask, no per-chunk grid build; rows of one act group share a
+// plane, so row-invariant, grouped, and depthwise layers all take this
+// path. planes == nil falls back to fetching each cost through lw.Act
+// with the row's own filter index — the executable reference the plane
+// gather is differentially pinned against.
+func (ctx *groupCtx) evalWindows(cfg arch.Config, lw *nn.Lowered, ct *costTable, planes []*costPlane, wLo, wHi int, dst []int64) windowPartial {
 	lanes, wg := cfg.Lanes, cfg.WindowsPerTile
 	nrows, cols, f0 := ctx.nrows, ctx.cols, ctx.f0
-	wp := windowPartial{peTotals: make([]int64, nrows*wg)}
-	laneCost := make([]uint8, padLanes(lanes))
+	if dst == nil {
+		dst = make([]int64, nrows*wg)
+	}
+	wp := windowPartial{peTotals: dst}
+	// Lane costs live on the stack for every supported geometry; the slice
+	// fallback only fires past 64 lanes.
+	var lcBuf [64]uint8
+	laneCost := lcBuf[:]
+	if n := padLanes(lanes); n <= len(lcBuf) {
+		laneCost = lcBuf[:n]
+	} else {
+		laneCost = make([]uint8, n)
+	}
 	for w0 := wLo; w0 < wHi; w0 += wg {
 		w1 := w0 + wg
 		if w1 > wHi {
@@ -582,9 +711,16 @@ func (ctx *groupCtx) evalWindows(cfg arch.Config, lw *nn.Lowered, ct *costTable,
 		nw := w1 - w0
 		for ci := 0; ci < cols; ci++ {
 			for ri := 0; ri < nrows; ri++ {
-				refs := ctx.colRefs[ci][ri]
-				mask := ctx.colMasks[ci][ri]
+				refs := ctx.refs[(ci*nrows+ri)*lanes : (ci*nrows+ri+1)*lanes]
+				mask := ctx.masks
+				if ctx.maskStride > 0 {
+					mask = ctx.masks[(ci*nrows+ri)*ctx.maskStride : (ci*nrows+ri+1)*ctx.maskStride]
+				}
 				fIdx := f0 + ri
+				var plane *costPlane
+				if planes != nil {
+					plane = planes[ri]
+				}
 				for wi := 0; wi < nw; wi++ {
 					if plane != nil {
 						g := plane.window(w0 + wi)
@@ -633,14 +769,21 @@ func (ctx *groupCtx) evalWindows(cfg arch.Config, lw *nn.Lowered, ct *costTable,
 func finishGroup(cfg arch.Config, ctx *groupCtx, partials []windowPartial) groupResult {
 	r := ctx.base
 	if !ctx.needsWindows {
+		ctx.release()
 		return r
 	}
 	lanes, rows, wg := cfg.Lanes, cfg.FiltersPerTile, cfg.WindowsPerTile
-	peTotals := make([]int64, ctx.nrows*wg)
+	defer ctx.release()
+	// Fold destructively into chunk 0's stride: the strides are disjoint
+	// views of the group's arena, and nothing reads a chunk partial after
+	// the fold.
+	peTotals := partials[0].peTotals
 	var serial int64
-	for _, wp := range partials {
-		for i, t := range wp.peTotals {
-			peTotals[i] += t
+	for pi, wp := range partials {
+		if pi > 0 {
+			for i, t := range wp.peTotals {
+				peTotals[i] += t
+			}
 		}
 		r.backEnd.Add(wp.backEnd)
 		serial += wp.serial
@@ -702,24 +845,4 @@ func muxSelects(cfg arch.Config, schedules []*sched.Schedule, W int) int64 {
 		}
 	}
 	return n * int64(W)
-}
-
-// denseSchedules builds the value-agnostic dense schedule: one column per
-// step, every weight in place, nothing skipped.
-func denseSchedules(filters []sched.Filter) []*sched.Schedule {
-	out := make([]*sched.Schedule, len(filters))
-	for i, f := range filters {
-		s := &sched.Schedule{Lanes: f.Lanes, DenseSteps: f.Steps}
-		for st := 0; st < f.Steps; st++ {
-			col := sched.Column{Head: st, Advance: 1, Entries: make([]sched.Entry, f.Lanes)}
-			for ln := 0; ln < f.Lanes; ln++ {
-				if w := f.At(st, ln); w != 0 {
-					col.Entries[ln] = sched.Entry{Weight: w, SrcStep: st, SrcLane: ln}
-				}
-			}
-			s.Columns = append(s.Columns, col)
-		}
-		out[i] = s
-	}
-	return out
 }
