@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check lint-backend serve-smoke bench bench-gate bench-sim bench-sched bench-kernel fuzz-sched fuzz-kernel fmt clean
+.PHONY: all build vet test race check lint-backend serve-smoke shard-smoke bench bench-gate bench-sim bench-sched bench-kernel bench-serve fuzz-sched fuzz-kernel fmt clean
 
 all: check
 
@@ -22,8 +22,8 @@ race:
 # benchmark baselines.
 check: build vet lint-backend race bench-gate
 
-# The benchmark regression gate: re-measure the kernel, scheduler, and
-# engine suites and compare against the committed BENCH_*.json baselines.
+# The benchmark regression gate: re-measure the kernel, scheduler, engine,
+# and serving suites and compare against the committed BENCH_*.json baselines.
 # allocs/op gates on every host; ns/op only against a baseline recorded at
 # the same GOMAXPROCS with neither side contended. Exits 1 on any >10%
 # regression (tune with THRESHOLD=0.05 etc.).
@@ -51,6 +51,13 @@ lint-backend:
 serve-smoke:
 	TCL_SERVE_SMOKE=1 $(GO) test ./cmd/tclserve -run TestServeSmoke -v -timeout 5m
 
+# Distributed-mode load smoke: real tclserve binaries — a coordinator over
+# two shard workers — must return results byte-identical to a standalone
+# single-process server, then survive a short tclload drive with zero
+# errors and a nonzero coalesce hit rate.
+shard-smoke:
+	TCL_SHARD_SMOKE=1 $(GO) test ./cmd/tclserve -run TestShardSmoke -v -timeout 10m
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$'
 
@@ -72,6 +79,11 @@ bench-sched:
 # allocs/op per lane count.
 bench-kernel:
 	TCL_BENCH_KERNEL=1 TCL_BENCH_FORCE=$(FORCE) $(GO) test ./internal/sim -run TestEmitBenchKernel -v -timeout 10m
+
+# Regenerate BENCH_serve.json: request latency percentiles, throughput and
+# coalesce hit rate for the tclserve HTTP tier under three load shapes.
+bench-serve:
+	TCL_BENCH_SERVE=1 TCL_BENCH_FORCE=$(FORCE) $(GO) test -run TestEmitBenchServe -v -timeout 30m
 
 # Differential fuzz of the optimized scheduling kernel against the reference
 # implementation (FUZZTIME defaults to 30s; raise for soak runs).

@@ -156,6 +156,24 @@ func TestEmitBenchSim(t *testing.T) {
 	}
 }
 
+// TestEmitBenchServe regenerates BENCH_serve.json through the shared
+// internal/bench serve suite: a fresh in-process tclserve behind loopback
+// HTTP, driven by the tclload machinery over three load shapes (unique
+// requests, hot coalesced repeats, streamed repeats). Gated behind
+// TCL_BENCH_SERVE=1 (`make bench-serve`).
+func TestEmitBenchServe(t *testing.T) {
+	if os.Getenv("TCL_BENCH_SERVE") == "" {
+		t.Skip("set TCL_BENCH_SERVE=1 to regenerate BENCH_serve.json")
+	}
+	f, err := bench.RunServe(t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bench.WriteBaseline("BENCH_serve.json", f, os.Getenv("TCL_BENCH_FORCE") != ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // BenchmarkScheduler isolates the paper's core contribution: Algorithm 1 on
 // one Figure-11-sized filter (288 steps × 16 lanes) at 70% sparsity.
 func BenchmarkScheduler(b *testing.B) {

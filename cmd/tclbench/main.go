@@ -18,6 +18,13 @@
 //
 //	tclbench -compare -current /path/to/fresh/dir
 //
+// Promote (adopt baselines recorded elsewhere — typically CI artifacts from
+// a genuinely multi-core runner — after validating they are clean: emitted
+// at GOMAXPROCS > 1 on a host with at least that many cores, with no
+// contended rows):
+//
+//	tclbench -promote /path/to/artifact/dir
+//
 // Comparison policy (internal/bench): allocs/op gates on every host — a
 // zero-alloc baseline must stay zero — while ns/op gates only between
 // non-contended runs at equal GOMAXPROCS. Baseline rows missing from the
@@ -42,25 +49,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tclbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		emit      = fs.String("emit", "", "regenerate baselines: kernel, sched, sim, or all")
+		emit      = fs.String("emit", "", "regenerate baselines: kernel, sched, sim, serve, or all")
 		compare   = fs.Bool("compare", false, "measure and compare against committed baselines; exit 1 on regression")
-		suite     = fs.String("suite", "", "restrict -compare to one suite (kernel, sched, sim)")
+		suite     = fs.String("suite", "", "restrict to one suite (kernel, sched, sim, serve)")
 		threshold = fs.Float64("threshold", 0.10, "fractional regression threshold")
 		force     = fs.Bool("force", false, "overwrite a baseline even with contended measurements")
 		ids       = fs.String("ids", "", "comma-separated ID prefixes; only matching baseline rows are compared")
 		dir       = fs.String("dir", ".", "directory holding the committed BENCH_*.json baselines")
 		current   = fs.String("current", "", "compare pre-recorded BENCH_*.json from this directory instead of measuring")
+		promote   = fs.String("promote", "", "adopt validated multi-core baselines from this directory into -dir")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *emit == "" && !*compare {
-		fmt.Fprintln(stderr, "tclbench: nothing to do; pass -emit <suite|all> or -compare")
+	if *emit == "" && !*compare && *promote == "" {
+		fmt.Fprintln(stderr, "tclbench: nothing to do; pass -emit <suite|all>, -compare, or -promote <dir>")
 		fs.Usage()
 		return 2
 	}
 
 	logf := func(format string, a ...any) { fmt.Fprintf(stdout, format+"\n", a...) }
+
+	if *promote != "" {
+		return promoteBaselines(*promote, *dir, *suite, logf, stderr)
+	}
 
 	if *emit != "" {
 		for _, s := range selectSuites(*emit) {
@@ -167,10 +179,62 @@ func selectSuites(name string) []*bench.Suite {
 	return []*bench.Suite{bench.SuiteByName(name)}
 }
 
+// promoteBaselines copies pre-recorded baselines from src into dst after
+// validating each is a clean multi-core measurement: GOMAXPROCS > 1, at
+// least as many physical cores as GOMAXPROCS, and no contended rows. This
+// is how a single-core dev host adopts CI artifacts as the committed
+// baselines without ever being able to fabricate them locally.
+func promoteBaselines(src, dst, suite string, logf func(string, ...any), stderr io.Writer) int {
+	suites := selectSuites(suite)
+	if suite != "" && suites[0] == nil {
+		fmt.Fprintf(stderr, "tclbench: unknown suite %q\n", suite)
+		return 2
+	}
+	promoted := 0
+	for _, s := range suites {
+		path := filepath.Join(src, s.File)
+		f, err := bench.Load(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				logf("promote: %s absent in %s, skipped", s.File, src)
+				continue
+			}
+			fmt.Fprintf(stderr, "tclbench: promote %s: %v\n", s.File, err)
+			return 2
+		}
+		switch {
+		case f.GoMaxProcs < 2:
+			fmt.Fprintf(stderr, "tclbench: refusing to promote %s: recorded at GOMAXPROCS=%d, want a multi-core run\n", s.File, f.GoMaxProcs)
+			return 1
+		case f.NumCPU < f.GoMaxProcs:
+			fmt.Fprintf(stderr, "tclbench: refusing to promote %s: GOMAXPROCS=%d exceeds the recording host's %d cores (time-sliced)\n", s.File, f.GoMaxProcs, f.NumCPU)
+			return 1
+		case f.Contended():
+			fmt.Fprintf(stderr, "tclbench: refusing to promote %s: contains contended rows\n", s.File)
+			return 1
+		}
+		if err := f.Write(filepath.Join(dst, s.File)); err != nil {
+			fmt.Fprintf(stderr, "tclbench: promote %s: %v\n", s.File, err)
+			return 2
+		}
+		logf("promoted %s (GOMAXPROCS=%d, %d cores, %d benchmarks)", s.File, f.GoMaxProcs, f.NumCPU, len(f.Benchmarks))
+		promoted++
+	}
+	if promoted == 0 {
+		fmt.Fprintf(stderr, "tclbench: nothing to promote in %s\n", src)
+		return 1
+	}
+	return 0
+}
+
+// latencyMetric reports whether a regression metric is a wall-time one —
+// noisy under co-located load, hence worth one re-measurement.
+func latencyMetric(m string) bool { return m == "ns/op" || m == "p50" || m == "p99" }
+
 // nsOnly reports whether every regression in res is a wall-time one.
 func nsOnly(res bench.Result) bool {
 	for _, r := range res.Regressions {
-		if r.Metric != "ns/op" {
+		if !latencyMetric(r.Metric) {
 			return false
 		}
 	}
@@ -178,17 +242,29 @@ func nsOnly(res bench.Result) bool {
 }
 
 // mergeBestNs folds a re-measurement into cur, keeping each record's
-// fastest ns/op (noise only ever adds time). Allocation counts are left
-// as first measured — they are deterministic, and quietly taking a min
-// would mask a real regression that reproduced only once.
+// fastest latency metrics (noise only ever adds time). Allocation counts
+// and hit rates are left as first measured — they are deterministic, and
+// quietly taking a best-of would mask a real regression that reproduced
+// only once.
 func mergeBestNs(cur, again *bench.File) {
 	byID := make(map[string]bench.Record, len(again.Benchmarks))
 	for _, r := range again.Benchmarks {
 		byID[r.ID] = r
 	}
 	for i := range cur.Benchmarks {
-		if r, ok := byID[cur.Benchmarks[i].ID]; ok && r.NsPerOp > 0 && r.NsPerOp < cur.Benchmarks[i].NsPerOp {
-			cur.Benchmarks[i].NsPerOp = r.NsPerOp
+		r, ok := byID[cur.Benchmarks[i].ID]
+		if !ok {
+			continue
+		}
+		c := &cur.Benchmarks[i]
+		if r.NsPerOp > 0 && r.NsPerOp < c.NsPerOp {
+			c.NsPerOp = r.NsPerOp
+		}
+		if r.P50Ns > 0 && r.P50Ns < c.P50Ns {
+			c.P50Ns = r.P50Ns
+		}
+		if r.P99Ns > 0 && r.P99Ns < c.P99Ns {
+			c.P99Ns = r.P99Ns
 		}
 	}
 }

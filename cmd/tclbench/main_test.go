@@ -21,6 +21,13 @@ func r(id string, ns float64, allocs int64) bench.Record {
 	return bench.Record{ID: id, GoMaxProcs: 1, NsPerOp: ns, AllocsPerOp: allocs, Iterations: 1}
 }
 
+func serveRec(id string, p50 float64, hitRate float64) bench.Record {
+	return bench.Record{
+		ID: id, GoMaxProcs: 1, NsPerOp: p50, AllocsPerOp: 1000, Iterations: 1,
+		P50Ns: p50, P99Ns: 2 * p50, RPS: 100, CoalesceHitRate: hitRate,
+	}
+}
+
 // fixture lays out matching baseline and current directories covering all
 // three suites, with the kernel suite carrying the interesting rows.
 func fixture(t *testing.T, kernelBase, kernelCur bench.Record) (baseDir, curDir string) {
@@ -29,6 +36,7 @@ func fixture(t *testing.T, kernelBase, kernelCur bench.Record) (baseDir, curDir 
 	for _, d := range []string{baseDir, curDir} {
 		writeFile(t, d, "BENCH_sched.json", r("sched/L4<1,2>/algorithm1/kernel", 500, 0))
 		writeFile(t, d, "BENCH_sim.json", r("fig8a/j1", 1e9, 50000))
+		writeFile(t, d, "BENCH_serve.json", serveRec("serve/hot", 1e7, 0.95))
 	}
 	writeFile(t, baseDir, "BENCH_kernel.json", kernelBase)
 	writeFile(t, curDir, "BENCH_kernel.json", kernelCur)
@@ -143,5 +151,120 @@ func TestUsageErrors(t *testing.T) {
 	}
 	if code := run([]string{"-threshold", "x"}, &out, &errOut); code != 2 {
 		t.Fatalf("bad flag exit %d, want 2", code)
+	}
+}
+
+// TestGateServeMetrics: the serve suite's latency percentiles gate under
+// the ns policy and its coalesce hit rate gates on every host.
+func TestGateServeMetrics(t *testing.T) {
+	baseDir, curDir := fixture(t,
+		r("kernel/lanes=16/swar", 100, 0),
+		r("kernel/lanes=16/swar", 100, 0))
+	var out, errOut bytes.Buffer
+
+	// 2x p99: latency regression.
+	slow := serveRec("serve/hot", 1e7, 0.95)
+	slow.P99Ns *= 2
+	writeFile(t, curDir, "BENCH_serve.json", slow)
+	if code := run([]string{"-compare", "-suite", "serve", "-dir", baseDir, "-current", curDir}, &out, &errOut); code != 1 {
+		t.Fatalf("p99 regression passed the gate: %s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "p99") {
+		t.Fatalf("p99 regression not attributed: %s", errOut.String())
+	}
+
+	// Hit rate collapse: gated even across host shapes.
+	errOut.Reset()
+	cold := serveRec("serve/hot", 1e7, 0.40)
+	cold.GoMaxProcs = 8 // different host: ns skipped, hit rate still gates
+	writeFile(t, curDir, "BENCH_serve.json", cold)
+	if code := run([]string{"-compare", "-suite", "serve", "-dir", baseDir, "-current", curDir}, &out, &errOut); code != 1 {
+		t.Fatalf("hit-rate collapse passed the gate: %s", out.String())
+	}
+	if !strings.Contains(errOut.String(), "coalesce_hit_rate") {
+		t.Fatalf("hit-rate regression not attributed: %s", errOut.String())
+	}
+}
+
+// promoteFixture writes one clean multi-core artifact set (all four
+// suites) into a directory.
+func promoteFixture(t *testing.T, gomaxprocs, numCPU int, contended bool) string {
+	t.Helper()
+	dir := t.TempDir()
+	for _, s := range bench.Suites {
+		f := &bench.File{
+			Schema: bench.Schema, GoMaxProcs: gomaxprocs, NumCPU: numCPU,
+			Benchmarks: []bench.Record{{
+				ID: s.Name + "/row", GoMaxProcs: gomaxprocs, NsPerOp: 100,
+				AllocsPerOp: 10, Iterations: 1, Contended: contended,
+			}},
+		}
+		if err := f.Write(filepath.Join(dir, s.File)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestPromoteAdoptsCleanArtifacts: -promote validates and copies CI
+// baselines; the single-core host can adopt but never fabricate them.
+func TestPromoteAdoptsCleanArtifacts(t *testing.T) {
+	src := promoteFixture(t, 4, 8, false)
+	dst := t.TempDir()
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-promote", src, "-dir", dst}, &out, &errOut); code != 0 {
+		t.Fatalf("clean promote exit %d: %s", code, errOut.String())
+	}
+	for _, s := range bench.Suites {
+		f, err := bench.Load(filepath.Join(dst, s.File))
+		if err != nil {
+			t.Fatalf("promoted %s unreadable: %v", s.File, err)
+		}
+		if f.GoMaxProcs != 4 {
+			t.Errorf("promoted %s lost its host shape: %+v", s.File, f)
+		}
+	}
+
+	// A partial artifact set promotes what exists and skips the rest.
+	partial := t.TempDir()
+	f, _ := bench.Load(filepath.Join(src, "BENCH_serve.json"))
+	if err := f.Write(filepath.Join(partial, "BENCH_serve.json")); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{"-promote", partial, "-dir", t.TempDir()}, &out, &errOut); code != 0 {
+		t.Fatalf("partial promote exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "skipped") {
+		t.Fatalf("partial promote did not report skips: %s", out.String())
+	}
+}
+
+// TestPromoteRefusesTaintedArtifacts: single-core, time-sliced, or
+// contended recordings must not become committed baselines.
+func TestPromoteRefusesTaintedArtifacts(t *testing.T) {
+	cases := map[string]string{
+		"single-core": promoteFixture(t, 1, 8, false),
+		"time-sliced": promoteFixture(t, 8, 1, false),
+		"contended":   promoteFixture(t, 4, 8, true),
+	}
+	for name, src := range cases {
+		var out, errOut bytes.Buffer
+		dst := t.TempDir()
+		if code := run([]string{"-promote", src, "-dir", dst}, &out, &errOut); code != 1 {
+			t.Errorf("%s promote exit %d, want 1 (%s)", name, code, errOut.String())
+		}
+		if !strings.Contains(errOut.String(), "refusing to promote") {
+			t.Errorf("%s: refusal not reported: %s", name, errOut.String())
+		}
+		if _, err := bench.Load(filepath.Join(dst, "BENCH_kernel.json")); err == nil {
+			t.Errorf("%s: tainted baseline was written anyway", name)
+		}
+	}
+
+	// An empty artifact directory is an error, not a silent success.
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-promote", t.TempDir(), "-dir", t.TempDir()}, &out, &errOut); code != 1 {
+		t.Errorf("empty promote exit %d, want 1", code)
 	}
 }

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSplitConfigs pins the -configs grammar: commas separate specs except
+// inside a pattern's angle brackets, so the default "tcle:T8<2,5>" is one
+// config, not two broken halves.
+func TestSplitConfigs(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"tcle", []string{"tcle"}},
+		{"tcle:T8<2,5>", []string{"tcle:T8<2,5>"}},
+		{"tcle:T8<2,5>,tclp:L4<1,2>", []string{"tcle:T8<2,5>", "tclp:L4<1,2>"}},
+		{" tcle , bitparallel ", []string{"tcle", "bitparallel"}},
+		{",,tcle,", []string{"tcle"}},
+		{"tcle:T8<2,5", []string{"tcle:T8<2,5"}}, // unbalanced: server rejects, not us
+	} {
+		if got := splitConfigs(tc.in); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("splitConfigs(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}

@@ -7,9 +7,19 @@
 //	tclserve -addr :8371
 //
 //	POST /v1/simulate  {"model":"AlexNet-ES","configs":[{"backend":"tcle","pattern":"T8<2,5>"}]}
+//	                   add "stream": true for NDJSON per-layer streaming
 //	POST /v1/schedule  {"model":"MobileNet","pattern":"T8<2,5>"}
+//	POST /v1/shard     coordinator-to-worker leg of shard mode
 //	GET  /healthz      liveness probe
 //	GET  /metrics      engine + service counters (JSON)
+//
+// Identical concurrent requests coalesce onto one engine run, and finished
+// sweeps are retained in a byte-budgeted LRU (-cache-budget) keyed by the
+// request's content fingerprint, so repeat sweeps are served without
+// touching the engine. With -workers url,url,… the process becomes a
+// coordinator: each sweep's (config, layer) grid is split across the named
+// worker tclserves and merged deterministically (bit-identical to a
+// single-process run at any worker count).
 //
 // Requests honor a per-request deadline (timeout_ms, clamped to
 // -max-timeout): the engine's workers stop claiming work when it expires
@@ -28,8 +38,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
+
+	"bittactical/internal/serve"
 )
 
 func main() {
@@ -40,10 +53,28 @@ func main() {
 		maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "upper bound on client-requested deadlines")
 		drain       = flag.Duration("drain", 15*time.Second, "how long to drain in-flight requests on shutdown")
 		par         = flag.Int("j", 0, "engine worker parallelism per request (0 = GOMAXPROCS)")
+		cacheBudget = flag.Int64("cache-budget", serve.DefaultCacheBudget,
+			"finished-result cache budget in bytes (0 = default, negative disables retention)")
+		workers = flag.String("workers", "",
+			"comma-separated worker base URLs; non-empty runs this process as a shard coordinator")
 	)
 	flag.Parse()
 
-	s := newServer(*maxInFlight, *defTimeout, *maxTimeout, *par)
+	cfg := serve.Config{
+		MaxInFlight:    *maxInFlight,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		Parallelism:    *par,
+		CacheBudget:    *cacheBudget,
+	}
+	if *workers != "" {
+		for _, w := range strings.Split(*workers, ",") {
+			if w = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(w), "/")); w != "" {
+				cfg.Workers = append(cfg.Workers, w)
+			}
+		}
+	}
+	s := serve.New(cfg)
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tclserve:", err)
@@ -52,9 +83,12 @@ func main() {
 	// The resolved address line is load-bearing: the smoke test (and any
 	// operator using port 0) learns the bound port from it.
 	log.Printf("tclserve: listening on %s", ln.Addr())
+	if len(cfg.Workers) > 0 {
+		log.Printf("tclserve: coordinating %d shard workers: %s", len(cfg.Workers), strings.Join(cfg.Workers, ", "))
+	}
 
 	srv := &http.Server{
-		Handler:           s.routes(),
+		Handler:           s.Routes(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -12,6 +12,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"bittactical/internal/serve"
 )
 
 // TestServeSmoke builds the real tclserve binary, starts it on an ephemeral
@@ -80,7 +82,7 @@ func TestServeSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatalf("POST /v1/simulate: %v", err)
 	}
-	var sim simulateResponse
+	var sim serve.SimulateResponse
 	err = json.NewDecoder(sresp.Body).Decode(&sim)
 	sresp.Body.Close()
 	if sresp.StatusCode != http.StatusOK || err != nil {
@@ -125,4 +127,111 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatal("tclserve did not exit within 15s of SIGTERM")
 	}
 	<-logRest
+}
+
+// startServe launches a freshly-built tclserve binary with the given extra
+// flags, scrapes its resolved listen address off stderr, and registers a
+// kill on test cleanup. The rest of the log is drained in the background.
+func startServe(t *testing.T, bin string, extra ...string) string {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-drain", "5s"}, extra...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		line := sc.Text()
+		t.Logf("tclserve%v: %s", extra, line)
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			go func() {
+				for sc.Scan() {
+				}
+			}()
+			return "http://" + strings.TrimSpace(line[i+len("listening on "):])
+		}
+	}
+	t.Fatalf("server exited without logging its address (scan err: %v)", sc.Err())
+	return ""
+}
+
+// TestShardSmoke is the distributed-mode load smoke: real binaries, real
+// TCP. A coordinator fronting two shard workers must return byte-identical
+// results to a standalone single-process server, and a short tclload run
+// against the coordinator must complete with zero errors and a nonzero
+// coalesce hit rate. Gated behind TCL_SHARD_SMOKE=1 (`make shard-smoke`).
+func TestShardSmoke(t *testing.T) {
+	if os.Getenv("TCL_SHARD_SMOKE") != "1" {
+		t.Skip("set TCL_SHARD_SMOKE=1 (or run `make shard-smoke`) to exercise shard mode end to end")
+	}
+
+	dir := t.TempDir()
+	serveBin := filepath.Join(dir, "tclserve")
+	loadBin := filepath.Join(dir, "tclload")
+	if out, err := exec.Command("go", "build", "-o", serveBin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build tclserve: %v\n%s", err, out)
+	}
+	if out, err := exec.Command("go", "build", "-o", loadBin, "../tclload").CombinedOutput(); err != nil {
+		t.Fatalf("go build tclload: %v\n%s", err, out)
+	}
+
+	solo := startServe(t, serveBin)
+	w1 := startServe(t, serveBin)
+	w2 := startServe(t, serveBin)
+	coord := startServe(t, serveBin, "-workers", w1+","+w2)
+
+	// The same sweep through both deployment shapes must agree byte for byte.
+	body := `{"model":"AlexNet-ES","channel_scale":0.1,"spatial_scale":0.25,"configs":[{"backend":"tcle","pattern":"T8<2,5>"},{"backend":"tclp","pattern":"L4<1,2>"}]}`
+	post := func(base string) serve.SimulateResponse {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/simulate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", base, err)
+		}
+		defer resp.Body.Close()
+		var sim serve.SimulateResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sim); err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s = %d (decode err %v)", base, resp.StatusCode, err)
+		}
+		return sim
+	}
+	got, want := post(coord), post(solo)
+	gotJSON, _ := json.Marshal(got.Configs)
+	wantJSON, _ := json.Marshal(want.Configs)
+	if string(gotJSON) != string(wantJSON) {
+		t.Fatalf("sharded result differs from single-process:\n  coord: %s\n  solo:  %s", gotJSON, wantJSON)
+	}
+	if got.Fingerprint != want.Fingerprint {
+		t.Fatalf("fingerprint mismatch: %s vs %s", got.Fingerprint, want.Fingerprint)
+	}
+	fmt.Printf("shard-smoke: coordinator over 2 workers bit-identical to single-process (%d configs)\n", len(got.Configs))
+
+	// Drive the coordinator with the real load tool: identical concurrent
+	// requests must all succeed and mostly coalesce.
+	load := exec.Command(loadBin, "-addr", coord, "-n", "8", "-c", "4",
+		"-model", "AlexNet-ES", "-channel-scale", "0.1", "-spatial-scale", "0.25",
+		"-configs", "tcle:T8<2,5>", "-timeout", "2m")
+	out, err := load.Output()
+	if err != nil {
+		t.Fatalf("tclload: %v\n%s", err, out)
+	}
+	t.Logf("tclload: %s", out)
+	var rep serve.LoadReport
+	if err := json.Unmarshal(out, &rep); err != nil {
+		t.Fatalf("tclload report: %v\n%s", err, out)
+	}
+	if rep.Errors != 0 || rep.Requests != 8 {
+		t.Fatalf("load run unhealthy: %+v", rep)
+	}
+	if rep.CoalesceHitRate <= 0 {
+		t.Fatalf("identical concurrent requests did not coalesce: %+v", rep)
+	}
+	fmt.Printf("shard-smoke: tclload 8 req @4 conc: p50 %.1fms p99 %.1fms, hit rate %.2f\n",
+		rep.P50Ms, rep.P99Ms, rep.CoalesceHitRate)
 }

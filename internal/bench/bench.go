@@ -1,15 +1,20 @@
 // Package bench is the repo's benchmark baseline format and regression
-// gate. One schema covers the three committed baselines — BENCH_sim.json
+// gate. One schema covers the four committed baselines — BENCH_sim.json
 // (experiment runners through the engine), BENCH_sched.json (scheduling
-// kernel vs reference), BENCH_kernel.json (SWAR column-max vs scalar) —
-// and one comparison policy decides what counts as a regression:
+// kernel vs reference), BENCH_kernel.json (SWAR column-max vs scalar),
+// BENCH_serve.json (the tclserve HTTP tier under load) — and one
+// comparison policy decides what counts as a regression:
 //
 //   - allocs/op compares everywhere: allocation counts are a property of
 //     the code, not the host, so a >threshold growth fails the gate on any
 //     machine, and a baseline of zero allocations must stay zero.
-//   - ns/op compares only between runs of the same effective parallelism
-//     (equal GOMAXPROCS) where neither side is contended; wall time
-//     measured on a different host shape is noise, not signal.
+//   - ns/op — and the serve suite's p50/p99 latency percentiles — compare
+//     only between runs of the same effective parallelism (equal
+//     GOMAXPROCS) where neither side is contended; wall time measured on a
+//     different host shape is noise, not signal.
+//   - coalesce_hit_rate compares everywhere: the fraction of requests
+//     served without their own engine run is a property of the serving
+//     logic and load shape, not the host, so a drop fails the gate.
 //
 // Baselines additionally refuse to be overwritten by a contended run
 // (requested parallelism above the host's GOMAXPROCS) unless forced:
@@ -25,7 +30,7 @@ import (
 )
 
 // Schema identifies the baseline layout; bump when Record changes shape.
-const Schema = 2
+const Schema = 3
 
 // Record is one benchmark measurement.
 type Record struct {
@@ -49,8 +54,20 @@ type Record struct {
 	// only when the host could actually run workers concurrently.
 	Speedup float64 `json:"speedup_vs_serial,omitempty"`
 	// Contended marks measurements whose requested parallelism exceeds
-	// GOMAXPROCS: workers time-slice cores, so ns/op is not comparable.
+	// the host's real concurrency (GOMAXPROCS, or NumCPU when GOMAXPROCS
+	// overshoots it): workers time-slice cores, so ns/op is not comparable.
 	Contended bool `json:"contended,omitempty"`
+
+	// Serving-tier metrics (the serve suite; zero elsewhere). P50Ns/P99Ns
+	// are client-observed request latency percentiles and follow the ns/op
+	// comparison policy; RPS is informational (throughput is the inverse of
+	// latency at fixed concurrency, so gating it would double-count);
+	// CoalesceHitRate is the fraction of requests served without their own
+	// engine run — a load-shape property, gated on every host.
+	P50Ns           float64 `json:"p50_ns,omitempty"`
+	P99Ns           float64 `json:"p99_ns,omitempty"`
+	RPS             float64 `json:"rps,omitempty"`
+	CoalesceHitRate float64 `json:"coalesce_hit_rate,omitempty"`
 }
 
 // File is one committed baseline.
@@ -110,10 +127,10 @@ func WriteBaseline(path string, f *File, force bool) error {
 }
 
 // Regression is one gate failure: a current metric more than threshold
-// above its baseline.
+// worse than its baseline.
 type Regression struct {
 	ID       string
-	Metric   string // "ns/op" or "allocs/op"
+	Metric   string // "ns/op", "allocs/op", "p50", "p99", or "coalesce_hit_rate"
 	Baseline float64
 	Current  float64
 	Ratio    float64 // Current / Baseline (+Inf for a zero baseline)
@@ -170,11 +187,32 @@ func Compare(baseline, current *File, threshold float64) Result {
 		}
 		if b.Contended || c.Contended || b.GoMaxProcs != c.GoMaxProcs {
 			res.SkippedNs = append(res.SkippedNs, b.ID)
-		} else if b.NsPerOp > 0 && c.NsPerOp > b.NsPerOp*(1+threshold) {
+		} else {
+			for _, m := range []struct {
+				name       string
+				base, curr float64
+			}{
+				{"ns/op", b.NsPerOp, c.NsPerOp},
+				{"p50", b.P50Ns, c.P50Ns},
+				{"p99", b.P99Ns, c.P99Ns},
+			} {
+				if m.base > 0 && m.curr > m.base*(1+threshold) {
+					res.Regressions = append(res.Regressions, Regression{
+						ID: b.ID, Metric: m.name,
+						Baseline: m.base, Current: m.curr,
+						Ratio: m.curr / m.base,
+					})
+				}
+			}
+		}
+		// The coalesce hit rate is a property of the serving logic and the
+		// load shape, not of the host: a drop means requests stopped sharing
+		// engine runs, and it gates everywhere (lower is worse).
+		if b.CoalesceHitRate > 0 && c.CoalesceHitRate < b.CoalesceHitRate*(1-threshold) {
 			res.Regressions = append(res.Regressions, Regression{
-				ID: b.ID, Metric: "ns/op",
-				Baseline: b.NsPerOp, Current: c.NsPerOp,
-				Ratio: c.NsPerOp / b.NsPerOp,
+				ID: b.ID, Metric: "coalesce_hit_rate",
+				Baseline: b.CoalesceHitRate, Current: c.CoalesceHitRate,
+				Ratio: c.CoalesceHitRate / b.CoalesceHitRate,
 			})
 		}
 	}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+	"time"
+
+	"bittactical/internal/sched"
+	"bittactical/internal/serve"
+	"bittactical/internal/sim"
+)
+
+// serveShape is one load shape the serve suite measures.
+type serveShape struct {
+	id          string
+	requests    int
+	concurrency int
+	unique      bool // rotate act_seed: defeat coalescing and the result cache
+	stream      bool
+}
+
+// RunServe measures the evaluation service end to end: a fresh in-process
+// tclserve behind a real loopback HTTP listener, driven by the tclload
+// machinery. Three load shapes bracket the serving tier:
+//
+//   - serve/engine: every request distinct — raw engine throughput through
+//     the HTTP surface (coalesce hit rate 0 by construction).
+//   - serve/hot: identical concurrent requests — the coalesce + result-LRU
+//     path; exactly one engine run, hit rate (n-1)/n.
+//   - serve/stream: the hot shape over NDJSON streaming responses.
+//
+// Latency percentiles follow the ns/op comparison policy (same-host only);
+// the coalesce hit rate is a load-shape invariant and gates everywhere.
+// allocs/op is the process-wide allocation count per request — client and
+// server share the process, so it covers the full round trip.
+func RunServe(logf Logf) (*File, error) {
+	f := NewFile("AlexNet-ES channel scale 0.1, spatial scale 0.25, tcle:T8<2,5>, loopback HTTP")
+	for _, sh := range []serveShape{
+		{id: "serve/engine", requests: 6, concurrency: 2, unique: true},
+		{id: "serve/hot", requests: 32, concurrency: 8},
+		{id: "serve/stream", requests: 16, concurrency: 4, stream: true},
+	} {
+		rec, rep, err := measureServe(sh)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", sh.id, err)
+		}
+		f.Benchmarks = append(f.Benchmarks, rec)
+		logf.printf("%s: p50 %.1fms, p99 %.1fms, %.1f req/s, hit rate %.3f, %d allocs/op",
+			rec.ID, rep.P50Ms, rep.P99Ms, rep.RPS, rep.CoalesceHitRate, rec.AllocsPerOp)
+	}
+	return f, nil
+}
+
+// measureServe runs one load shape against a fresh server (fresh result
+// cache and coalescer; the process-wide schedule and plane caches are reset
+// so every shape pays the same warm-up) and packages the report as a
+// Record.
+func measureServe(sh serveShape) (Record, *serve.LoadReport, error) {
+	sched.Shared.Reset()
+	sim.SharedPlanes.Reset()
+	s := serve.New(serve.Config{
+		MaxInFlight:    sh.concurrency,
+		DefaultTimeout: 5 * time.Minute,
+		MaxTimeout:     10 * time.Minute,
+	})
+	ts := httptest.NewServer(s.Routes())
+	defer ts.Close()
+
+	body := serve.SimulateRequest{
+		Configs: []serve.ConfigSpec{{Backend: "tcle", Pattern: "T8<2,5>"}},
+		Stream:  sh.stream,
+	}
+	body.Model = "AlexNet-ES"
+	body.ChannelScale = 0.1
+	body.SpatialScale = 0.25
+
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	cpu0 := processCPUNs()
+	rep, err := serve.RunLoad(context.Background(), serve.LoadOptions{
+		BaseURL:     ts.URL,
+		Requests:    sh.requests,
+		Concurrency: sh.concurrency,
+		Body:        body,
+		UniqueSeeds: sh.unique,
+	})
+	cpuNs := processCPUNs() - cpu0
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return Record{}, nil, err
+	}
+	if rep.Errors > 0 {
+		return Record{}, nil, fmt.Errorf("%d of %d requests failed (statuses %v)", rep.Errors, rep.Requests, rep.StatusCount)
+	}
+	return Record{
+		ID:              sh.id,
+		Parallelism:     sh.concurrency,
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		NsPerOp:         rep.MeanMs * 1e6,
+		AllocsPerOp:     int64(m1.Mallocs-m0.Mallocs) / int64(sh.requests),
+		WallNs:          int64(rep.WallMs * 1e6),
+		CPUNs:           cpuNs,
+		Iterations:      sh.requests,
+		Contended:       Contended(sh.concurrency),
+		P50Ns:           rep.P50Ms * 1e6,
+		P99Ns:           rep.P99Ms * 1e6,
+		RPS:             rep.RPS,
+		CoalesceHitRate: rep.CoalesceHitRate,
+	}, rep, nil
+}

@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"testing"
 
 	"bittactical/internal/experiments"
@@ -41,7 +40,7 @@ func simOptions() experiments.Options {
 // overlap workers.
 func RunSim(logf Logf) (*File, error) {
 	f := NewFile("zoo channel scale 0.125, spatial scale 0.35, 25 trials")
-	concurrent := runtime.GOMAXPROCS(0) > 1
+	concurrent := hostConcurrent()
 	serialNs := map[string]float64{}
 	for _, id := range []string{"fig8a", "fig8b", "fig11a", "fig11b"} {
 		run := experiments.Registry[id]
@@ -184,11 +183,12 @@ type Suite struct {
 	Run  func(Logf) (*File, error)
 }
 
-// Suites are the repo's three committed baselines in gate order.
+// Suites are the repo's four committed baselines in gate order.
 var Suites = []Suite{
 	{Name: "kernel", File: "BENCH_kernel.json", Run: RunKernel},
 	{Name: "sched", File: "BENCH_sched.json", Run: RunSched},
 	{Name: "sim", File: "BENCH_sim.json", Run: RunSim},
+	{Name: "serve", File: "BENCH_serve.json", Run: RunServe},
 }
 
 // SuiteByName returns the named suite, or nil.

@@ -1,4 +1,4 @@
-package main
+package serve
 
 import (
 	"encoding/json"
@@ -11,13 +11,14 @@ import (
 
 	"bittactical/internal/backend"
 	"bittactical/internal/backend/dstripes"
+	"bittactical/internal/metrics"
 	"bittactical/internal/nn"
 	"bittactical/internal/sim"
 )
 
-func testServer(t *testing.T, maxInFlight int) *server {
+func testServer(t *testing.T, maxInFlight int) *Server {
 	t.Helper()
-	return newServer(maxInFlight, 30*time.Second, time.Minute, 2)
+	return New(Config{MaxInFlight: maxInFlight, DefaultTimeout: 30 * time.Second, MaxTimeout: time.Minute, Parallelism: 2})
 }
 
 // smallBody keeps handler tests fast: a tiny zoo instantiation of the
@@ -47,7 +48,7 @@ func getPath(t *testing.T, h http.Handler, path string) *httptest.ResponseRecord
 }
 
 func TestHealthz(t *testing.T) {
-	h := testServer(t, 2).routes()
+	h := testServer(t, 2).Routes()
 	rec := getPath(t, h, "/healthz")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("/healthz = %d, want 200", rec.Code)
@@ -59,18 +60,24 @@ func TestHealthz(t *testing.T) {
 }
 
 func TestSimulateAndMetrics(t *testing.T) {
-	h := testServer(t, 2).routes()
+	h := testServer(t, 2).Routes()
 	rec := postJSON(t, h, "/v1/simulate",
 		smallBody(`"configs":[{"backend":"dense"},{"backend":"tcle","pattern":"T8<2,5>"}]`))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("/v1/simulate = %d: %s", rec.Code, rec.Body.String())
 	}
-	var resp simulateResponse
+	var resp SimulateResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
 	if len(resp.Configs) != 2 {
 		t.Fatalf("got %d configs, want 2", len(resp.Configs))
+	}
+	if resp.Source != string(SourceEngine) {
+		t.Errorf("first request source = %q, want engine", resp.Source)
+	}
+	if len(resp.Fingerprint) != 64 {
+		t.Errorf("fingerprint %q is not a sha256 hex digest", resp.Fingerprint)
 	}
 	dense, tcle := resp.Configs[0], resp.Configs[1]
 	if dense.Cycles == 0 || tcle.Cycles == 0 || len(tcle.Layers) == 0 {
@@ -122,7 +129,7 @@ func TestSimulateAndMetrics(t *testing.T) {
 func TestSimulatePlaneCacheSharing(t *testing.T) {
 	sim.SharedPlanes.Reset()
 	defer sim.SharedPlanes.Reset()
-	h := testServer(t, 2).routes()
+	h := testServer(t, 2).Routes()
 	// Three configs, two distinct back-ends at the same width: the two TCLe
 	// configs share each layer's plane; the TCLp config — and any other
 	// back-end, since planes are keyed on Backend.Name() — must not collide
@@ -198,17 +205,17 @@ func TestSimulatePlaneCacheSharing(t *testing.T) {
 }
 
 func TestSimulateDefaultsConfigs(t *testing.T) {
-	h := testServer(t, 2).routes()
+	h := testServer(t, 2).Routes()
 	rec := postJSON(t, h, "/v1/simulate", smallBody(""))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("/v1/simulate = %d: %s", rec.Code, rec.Body.String())
 	}
-	var resp simulateResponse
+	var resp SimulateResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
-	if len(resp.Configs) != len(defaultConfigs()) {
-		t.Fatalf("default sweep ran %d configs, want %d", len(resp.Configs), len(defaultConfigs()))
+	if len(resp.Configs) != len(DefaultConfigs()) {
+		t.Fatalf("default sweep ran %d configs, want %d", len(resp.Configs), len(DefaultConfigs()))
 	}
 }
 
@@ -216,7 +223,7 @@ func TestSimulateDefaultsConfigs(t *testing.T) {
 // too-short deadline fails with a timeout status, promptly, without leaking
 // engine goroutines.
 func TestSimulateDeadline(t *testing.T) {
-	h := testServer(t, 2).routes()
+	h := testServer(t, 2).Routes()
 	before := runtime.NumGoroutine()
 	start := time.Now()
 	rec := postJSON(t, h, "/v1/simulate",
@@ -240,7 +247,7 @@ func TestSimulateDeadline(t *testing.T) {
 }
 
 func TestSimulateBadRequests(t *testing.T) {
-	h := testServer(t, 2).routes()
+	h := testServer(t, 2).Routes()
 	cases := []struct {
 		name, body string
 	}{
@@ -254,28 +261,75 @@ func TestSimulateBadRequests(t *testing.T) {
 		{"malformed json", `{"model":`},
 	}
 	for _, c := range cases {
-		if rec := postJSON(t, h, "/v1/simulate", c.body); rec.Code != http.StatusBadRequest {
+		rec := postJSON(t, h, "/v1/simulate", c.body)
+		if rec.Code != http.StatusBadRequest {
 			t.Errorf("%s: status = %d, want 400 (%s)", c.name, rec.Code, rec.Body.String())
 		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: Content-Type = %q, want application/json", c.name, ct)
+		}
 	}
+}
+
+// TestErrorResponsesAreJSON sweeps every server-written error path —
+// decode failures, bad model/config, saturation, timeout — and requires
+// the JSON content type and a JSON object body with an "error" key on each.
+func TestErrorResponsesAreJSON(t *testing.T) {
+	s := testServer(t, 1)
+	h := s.Routes()
+	check := func(name string, rec *httptest.ResponseRecorder, wantStatus int) {
+		t.Helper()
+		if rec.Code != wantStatus {
+			t.Errorf("%s: status = %d, want %d (%s)", name, rec.Code, wantStatus, rec.Body.String())
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: Content-Type = %q, want application/json", name, ct)
+		}
+		var body map[string]string
+		if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil || body["error"] == "" {
+			t.Errorf("%s: body %q is not an {error: …} object (err %v)", name, rec.Body.String(), err)
+		}
+	}
+	check("malformed json", postJSON(t, h, "/v1/simulate", `{`), http.StatusBadRequest)
+	check("unknown model", postJSON(t, h, "/v1/simulate", `{"model":"NotANet"}`), http.StatusBadRequest)
+	check("unknown backend in sweep", postJSON(t, h, "/v1/simulate",
+		smallBody(`"configs":[{"backend":"dense"},{"backend":"warp"}]`)), http.StatusBadRequest)
+	check("timeout", postJSON(t, h, "/v1/simulate",
+		`{"model":"AlexNet-ES","channel_scale":0.3,"spatial_scale":0.4,"timeout_ms":1}`), http.StatusGatewayTimeout)
+	check("schedule missing pattern", postJSON(t, h, "/v1/schedule", smallBody("")), http.StatusBadRequest)
+	check("shard missing layers", postJSON(t, h, "/v1/shard",
+		smallBody(`"configs":[{"backend":"dense"}]`)), http.StatusBadRequest)
+
+	s.sem <- struct{}{}
+	check("saturated", postJSON(t, h, "/v1/simulate", smallBody("")), http.StatusServiceUnavailable)
+	<-s.sem
 }
 
 // TestSimulateUnknownBackendListsRegistry pins the error contract: an
 // unknown back-end name is rejected with HTTP 400 and the body names every
 // registered back-end, so API users can discover what the registry holds.
+// The sweep path (bad name among good ones) must carry the same list.
 func TestSimulateUnknownBackendListsRegistry(t *testing.T) {
-	h := testServer(t, 2).routes()
-	rec := postJSON(t, h, "/v1/simulate", smallBody(`"configs":[{"backend":"warp"}]`))
-	if rec.Code != http.StatusBadRequest {
-		t.Fatalf("unknown backend = %d, want 400 (%s)", rec.Code, rec.Body.String())
-	}
-	body := rec.Body.String()
-	if !strings.Contains(body, "warp") {
-		t.Errorf("400 body does not echo the bad name: %s", body)
-	}
-	for _, name := range backend.Names() {
-		if !strings.Contains(body, name) {
-			t.Errorf("400 body does not list registered back-end %q: %s", name, body)
+	h := testServer(t, 2).Routes()
+	for name, body := range map[string]string{
+		"single": smallBody(`"configs":[{"backend":"warp"}]`),
+		"sweep":  smallBody(`"configs":[{"backend":"dense"},{"backend":"tcle","pattern":"T8<2,5>"},{"backend":"warp"}]`),
+	} {
+		rec := postJSON(t, h, "/v1/simulate", body)
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s: unknown backend = %d, want 400 (%s)", name, rec.Code, rec.Body.String())
+		}
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s: Content-Type = %q, want application/json", name, ct)
+		}
+		got := rec.Body.String()
+		if !strings.Contains(got, "warp") {
+			t.Errorf("%s: 400 body does not echo the bad name: %s", name, got)
+		}
+		for _, be := range backend.Names() {
+			if !strings.Contains(got, be) {
+				t.Errorf("%s: 400 body does not list registered back-end %q: %s", name, be, got)
+			}
 		}
 	}
 }
@@ -284,13 +338,13 @@ func TestSimulateUnknownBackendListsRegistry(t *testing.T) {
 // sign-magnitude plugin back-end, registered by a blank import and never
 // mentioned in the handler code, runs end-to-end over /v1/simulate.
 func TestSimulatePluginBackend(t *testing.T) {
-	h := testServer(t, 2).routes()
+	h := testServer(t, 2).Routes()
 	rec := postJSON(t, h, "/v1/simulate",
 		smallBody(`"configs":[{"backend":"dstripes-sm","pattern":"T8<2,5>"},{"backend":"tclp","pattern":"T8<2,5>"}]`))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("/v1/simulate = %d: %s", rec.Code, rec.Body.String())
 	}
-	var resp simulateResponse
+	var resp SimulateResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -313,12 +367,15 @@ func TestSimulatePluginBackend(t *testing.T) {
 
 func TestSimulateRejectsWhenSaturated(t *testing.T) {
 	s := testServer(t, 1)
-	h := s.routes()
+	h := s.Routes()
 	// Occupy the single in-flight slot, then observe the 503.
 	s.sem <- struct{}{}
 	rec := postJSON(t, h, "/v1/simulate", smallBody(""))
 	if rec.Code != http.StatusServiceUnavailable {
 		t.Fatalf("saturated simulate = %d, want 503", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("503 Content-Type = %q, want application/json", ct)
 	}
 	<-s.sem
 	// With the slot free the same request succeeds.
@@ -328,12 +385,12 @@ func TestSimulateRejectsWhenSaturated(t *testing.T) {
 }
 
 func TestScheduleEndpoint(t *testing.T) {
-	h := testServer(t, 2).routes()
+	h := testServer(t, 2).Routes()
 	rec := postJSON(t, h, "/v1/schedule", smallBody(`"pattern":"T8<2,5>"`))
 	if rec.Code != http.StatusOK {
 		t.Fatalf("/v1/schedule = %d: %s", rec.Code, rec.Body.String())
 	}
-	var resp scheduleResponse
+	var resp ScheduleResponse
 	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +413,7 @@ func TestScheduleEndpoint(t *testing.T) {
 }
 
 func TestMethodNotAllowed(t *testing.T) {
-	h := testServer(t, 2).routes()
+	h := testServer(t, 2).Routes()
 	if rec := getPath(t, h, "/v1/simulate"); rec.Code != http.StatusMethodNotAllowed {
 		t.Errorf("GET /v1/simulate = %d, want 405", rec.Code)
 	}
@@ -368,10 +425,137 @@ func TestMethodNotAllowed(t *testing.T) {
 
 // TestBodyTooLarge guards the request-size bound.
 func TestBodyTooLarge(t *testing.T) {
-	h := testServer(t, 2).routes()
+	h := testServer(t, 2).Routes()
 	big := `{"model":"` + strings.Repeat("x", maxBodyBytes) + `"}`
 	rec := postJSON(t, h, "/v1/simulate", big)
 	if rec.Code != http.StatusBadRequest {
 		t.Errorf("oversized body = %d, want 400", rec.Code)
+	}
+}
+
+// poolItems reads the engine's lifetime work-item counter — the ground
+// truth for "how many engine simulations actually ran".
+func poolItems() int64 {
+	return metrics.Default.Counter("sim_pool_items_total").Value()
+}
+
+// TestSimulateCoalescesDuplicates is the acceptance proof for request
+// coalescing: N identical concurrent POSTs execute exactly one engine
+// simulation. The engine's work-item count for this request shape is
+// deterministic, so the counter delta across the concurrent batch must
+// equal the delta of a single solo run — not N times it.
+func TestSimulateCoalescesDuplicates(t *testing.T) {
+	body := smallBody(`"configs":[{"backend":"tcle","pattern":"T8<2,5>"}]`)
+
+	// Learn the per-run item count from a solo request on a throwaway server.
+	solo := testServer(t, 8).Routes()
+	before := poolItems()
+	if rec := postJSON(t, solo, "/v1/simulate", body); rec.Code != http.StatusOK {
+		t.Fatalf("solo simulate = %d: %s", rec.Code, rec.Body.String())
+	}
+	perRun := poolItems() - before
+	if perRun == 0 {
+		t.Fatal("solo run produced no pool items; counter proof is vacuous")
+	}
+
+	const n = 8
+	s := testServer(t, n)
+	h := s.Routes()
+	before = poolItems()
+	type result struct {
+		code   int
+		source string
+	}
+	results := make(chan result, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			rec := postJSON(t, h, "/v1/simulate", body)
+			var resp SimulateResponse
+			_ = json.Unmarshal(rec.Body.Bytes(), &resp)
+			results <- result{code: rec.Code, source: resp.Source}
+		}()
+	}
+	engines := 0
+	for i := 0; i < n; i++ {
+		r := <-results
+		if r.code != http.StatusOK {
+			t.Fatalf("concurrent simulate = %d", r.code)
+		}
+		if r.source == string(SourceEngine) {
+			engines++
+		}
+	}
+	if delta := poolItems() - before; delta != perRun {
+		t.Errorf("engine ran %d pool items for %d identical requests, want exactly one run's %d", delta, n, perRun)
+	}
+	if engines != 1 {
+		t.Errorf("%d requests report source=engine, want exactly 1", engines)
+	}
+	st := s.Cache().Stats()
+	if st.Runs != 1 {
+		t.Errorf("cache led %d engine runs, want 1", st.Runs)
+	}
+	if st.Joined+st.Hits != n-1 {
+		t.Errorf("joined %d + cache hits %d != %d followers", st.Joined, st.Hits, n-1)
+	}
+}
+
+// TestSimulateResultCacheServesRepeats: a repeat of a finished request is
+// served from the LRU — source "cache", zero new engine work — and spelling
+// out the defaults changes nothing (the fingerprint canonicalizes first).
+func TestSimulateResultCacheServesRepeats(t *testing.T) {
+	s := testServer(t, 2)
+	h := s.Routes()
+	body := smallBody(`"configs":[{"backend":"tcle","pattern":"T8<2,5>"}]`)
+	rec := postJSON(t, h, "/v1/simulate", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("first simulate = %d: %s", rec.Code, rec.Body.String())
+	}
+	var first SimulateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &first); err != nil {
+		t.Fatal(err)
+	}
+
+	before := poolItems()
+	// Same request with defaults spelled out: seed and act_seed defaults,
+	// explicit width 16, mixed-case backend name.
+	explicit := `{"model":"AlexNet-ES","channel_scale":0.1,"spatial_scale":0.25,"seed":1,"act_seed":7,` +
+		`"configs":[{"backend":"TCLe","pattern":"T8<2,5>","width":16}],"parallelism":1}`
+	rec = postJSON(t, h, "/v1/simulate", explicit)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("repeat simulate = %d: %s", rec.Code, rec.Body.String())
+	}
+	var second SimulateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &second); err != nil {
+		t.Fatal(err)
+	}
+	if second.Source != string(SourceCache) {
+		t.Errorf("repeat source = %q, want cache", second.Source)
+	}
+	if second.Fingerprint != first.Fingerprint {
+		t.Errorf("explicit-defaults fingerprint %s != terse fingerprint %s", second.Fingerprint, first.Fingerprint)
+	}
+	if delta := poolItems() - before; delta != 0 {
+		t.Errorf("cache hit still ran %d engine items, want 0", delta)
+	}
+	aj, _ := json.Marshal(first.Configs)
+	bj, _ := json.Marshal(second.Configs)
+	if string(aj) != string(bj) {
+		t.Errorf("cached results differ from original:\n%s\nvs\n%s", aj, bj)
+	}
+	// A different act seed is a different fingerprint: no false sharing.
+	rec = postJSON(t, h, "/v1/simulate", smallBody(`"act_seed":99,"configs":[{"backend":"tcle","pattern":"T8<2,5>"}]`))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("distinct-seed simulate = %d", rec.Code)
+	}
+	var third SimulateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &third); err != nil {
+		t.Fatal(err)
+	}
+	if third.Fingerprint == first.Fingerprint {
+		t.Error("different act_seed produced the same fingerprint")
+	}
+	if third.Source != string(SourceEngine) {
+		t.Errorf("distinct request source = %q, want engine", third.Source)
 	}
 }

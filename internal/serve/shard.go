@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Shard mode spreads one sweep's (config, layer) grid across worker
+// processes: a coordinator (tclserve -workers url,url,…) partitions the
+// model's layers round-robin over the workers, each worker simulates its
+// layer slice for every config (POST /v1/shard → sim.SimulateGridContext),
+// and the coordinator reassembles cells in fixed (config, layer) order.
+//
+// The merge is deterministic and bit-identical to single-process output at
+// any worker count for the same reason the in-process pool is: a layer's
+// result depends only on its own filter groups, every cell is an integer
+// census, and the reassembly (and the totals summed from it) touches cells
+// in the same fixed order however they were computed.
+
+// ShardRequest is the body of POST /v1/shard — the coordinator-to-worker
+// leg. Layers indexes the model's layer list; the response carries cell
+// [config][i] for Layers[i].
+type ShardRequest struct {
+	ModelSpec
+	Configs     []ConfigSpec `json:"configs"`
+	Layers      []int        `json:"layers"`
+	Parallelism int          `json:"parallelism,omitempty"`
+	TimeoutMs   int64        `json:"timeout_ms,omitempty"`
+}
+
+// ShardResponse is one worker's slice of the grid.
+type ShardResponse struct {
+	Model string `json:"model"`
+	// Configs are the worker's resolved config names, for coordinator
+	// cross-checking.
+	Configs []string `json:"configs"`
+	// Cells[k][i] is config k's result for layer Layers[i].
+	Cells [][]LayerPayload `json:"cells"`
+}
+
+// shardError marks a worker-leg failure so the coordinator can answer 502
+// (the request was fine; the backend fleet was not).
+type shardError struct {
+	worker string
+	err    error
+}
+
+func (e *shardError) Error() string {
+	return fmt.Sprintf("shard worker %s: %v", e.worker, e.err)
+}
+
+func (e *shardError) Unwrap() error { return e.err }
+
+// dispatchShards fans the request's layer grid out over s.cfg.Workers and
+// reassembles the full [config][layer] grid. emit, when non-nil, observes
+// each worker's cells as that worker's response lands (the shard analog of
+// the engine's OnLayerResult).
+func (s *Server) dispatchShards(ctx context.Context, req SimulateRequest, nLayers int, emit func(cfg, layer int, lp LayerPayload)) ([][]LayerPayload, []string, error) {
+	workers := s.cfg.Workers
+	// Round-robin layer partition: layer li goes to worker li % W. Slices
+	// stay in increasing layer order, so cell i of worker w is layer
+	// w + i*W.
+	slices := make([][]int, len(workers))
+	for li := 0; li < nLayers; li++ {
+		w := li % len(workers)
+		slices[w] = append(slices[w], li)
+	}
+	timeoutMs := int64(0)
+	if dl, ok := ctx.Deadline(); ok {
+		timeoutMs = int64(time.Until(dl) / time.Millisecond)
+		if timeoutMs < 1 {
+			timeoutMs = 1
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		results  = make([]*ShardResponse, len(workers))
+	)
+	for w, base := range workers {
+		if len(slices[w]) == 0 {
+			continue
+		}
+		sreq := ShardRequest{
+			ModelSpec:   req.ModelSpec,
+			Configs:     req.Configs,
+			Layers:      slices[w],
+			Parallelism: req.Parallelism,
+			TimeoutMs:   timeoutMs,
+		}
+		wg.Add(1)
+		go func(w int, base string) {
+			defer wg.Done()
+			s.shardDispatches.Inc()
+			resp, err := s.postShard(ctx, base, sreq)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				s.shardFailures.Inc()
+				if firstErr == nil {
+					firstErr = &shardError{worker: base, err: err}
+				}
+				return
+			}
+			results[w] = resp
+			if emit != nil {
+				for k := range resp.Cells {
+					for i, li := range slices[w] {
+						emit(k, li, resp.Cells[k][i])
+					}
+				}
+			}
+		}(w, base)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+
+	// Reassemble in fixed (config, layer) order and cross-check the workers
+	// resolved the same configs.
+	var names []string
+	nConfigs := 0
+	for w, resp := range results {
+		if resp == nil {
+			continue
+		}
+		if names == nil {
+			names = resp.Configs
+			nConfigs = len(resp.Configs)
+		} else if len(resp.Configs) != nConfigs {
+			return nil, nil, &shardError{worker: workers[w], err: fmt.Errorf("resolved %d configs, coordinator peer resolved %d", len(resp.Configs), nConfigs)}
+		}
+		if len(resp.Cells) != nConfigs {
+			return nil, nil, &shardError{worker: workers[w], err: fmt.Errorf("returned %d cell rows for %d configs", len(resp.Cells), nConfigs)}
+		}
+		for k := range resp.Cells {
+			if len(resp.Cells[k]) != len(slices[w]) {
+				return nil, nil, &shardError{worker: workers[w], err: fmt.Errorf("returned %d cells for %d layers", len(resp.Cells[k]), len(slices[w]))}
+			}
+		}
+	}
+	grid := make([][]LayerPayload, nConfigs)
+	for k := range grid {
+		grid[k] = make([]LayerPayload, nLayers)
+		for w := range results {
+			if results[w] == nil {
+				continue
+			}
+			for i, li := range slices[w] {
+				grid[k][li] = results[w].Cells[k][i]
+			}
+		}
+	}
+	return grid, names, nil
+}
+
+// postShard runs one coordinator-to-worker call.
+func (s *Server) postShard(ctx context.Context, base string, sreq ShardRequest) (*ShardResponse, error) {
+	body, err := json.Marshal(sreq)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/shard", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := s.client.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 4096))
+		return nil, fmt.Errorf("status %d: %s", hresp.StatusCode, bytes.TrimSpace(msg))
+	}
+	var out ShardResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

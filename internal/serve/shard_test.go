@@ -1,0 +1,236 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newWorkerFleet starts n plain tclserve workers on loopback and returns a
+// coordinator fronting them.
+func newWorkerFleet(t *testing.T, n int) *Server {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		w := New(Config{MaxInFlight: 4, DefaultTimeout: 30 * time.Second, MaxTimeout: time.Minute, Parallelism: 2})
+		ts := httptest.NewServer(w.Routes())
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	return New(Config{
+		MaxInFlight:    4,
+		DefaultTimeout: 30 * time.Second,
+		MaxTimeout:     time.Minute,
+		Workers:        urls,
+	})
+}
+
+// TestShardEndpoint exercises the worker leg directly: a layer-slice grid
+// whose cells match the corresponding layers of a full local sweep.
+func TestShardEndpoint(t *testing.T) {
+	h := testServer(t, 2).Routes()
+	full := postJSON(t, h, "/v1/simulate", smallBody(`"configs":[{"backend":"tcle","pattern":"T8<2,5>"}]`))
+	if full.Code != http.StatusOK {
+		t.Fatalf("full simulate = %d", full.Code)
+	}
+	var ref SimulateResponse
+	if err := json.Unmarshal(full.Body.Bytes(), &ref); err != nil {
+		t.Fatal(err)
+	}
+	nLayers := len(ref.Configs[0].Layers)
+	if nLayers < 3 {
+		t.Fatalf("model has %d layers; slice test needs >= 3", nLayers)
+	}
+
+	// An out-of-order, non-contiguous slice: the response must follow the
+	// request's layer list, not the model's.
+	layers := []int{nLayers - 1, 0, 2}
+	body := smallBody(fmt.Sprintf(`"configs":[{"backend":"tcle","pattern":"T8<2,5>"}],"layers":[%d,0,2]`, nLayers-1))
+	rec := postJSON(t, h, "/v1/shard", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/v1/shard = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp ShardResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Cells) != 1 || len(resp.Cells[0]) != len(layers) {
+		t.Fatalf("shard cells shape %dx%d, want 1x%d", len(resp.Cells), len(resp.Cells[0]), len(layers))
+	}
+	for i, li := range layers {
+		got, want := resp.Cells[0][i], ref.Configs[0].Layers[li]
+		if got != want {
+			t.Errorf("shard cell %d (layer %d) = %+v, full sweep has %+v", i, li, got, want)
+		}
+	}
+
+	// Bad slices are request errors.
+	for name, bad := range map[string]string{
+		"out of range": smallBody(fmt.Sprintf(`"configs":[{"backend":"dense"}],"layers":[%d]`, nLayers)),
+		"no layers":    smallBody(`"configs":[{"backend":"dense"}]`),
+		"no configs":   smallBody(`"layers":[0]`),
+	} {
+		if rec := postJSON(t, h, "/v1/shard", bad); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: /v1/shard = %d, want 400", name, rec.Code)
+		}
+	}
+}
+
+// TestShardCoordinatorBitIdentical is the acceptance gate: the coordinator
+// path produces byte-identical config payloads to a single-process run, at
+// every worker count.
+func TestShardCoordinatorBitIdentical(t *testing.T) {
+	body := smallBody(`"configs":[{"backend":"dense"},{"backend":"tclp","pattern":"T8<2,5>"},{"backend":"tcle","pattern":"T8<2,5>"}]`)
+
+	single := postJSON(t, testServer(t, 2).Routes(), "/v1/simulate", body)
+	if single.Code != http.StatusOK {
+		t.Fatalf("single-process simulate = %d", single.Code)
+	}
+	var ref SimulateResponse
+	if err := json.Unmarshal(single.Body.Bytes(), &ref); err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := json.Marshal(ref.Configs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 3} {
+		coord := newWorkerFleet(t, workers)
+		rec := postJSON(t, coord.Routes(), "/v1/simulate", body)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%d-worker simulate = %d: %s", workers, rec.Code, rec.Body.String())
+		}
+		var got SimulateResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Fingerprint != ref.Fingerprint {
+			t.Errorf("%d workers: fingerprint %s != single-process %s", workers, got.Fingerprint, ref.Fingerprint)
+		}
+		gotJSON, err := json.Marshal(got.Configs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(gotJSON) != string(refJSON) {
+			t.Errorf("%d workers: sharded payload differs from single-process:\n%s\nvs\n%s", workers, gotJSON, refJSON)
+		}
+	}
+}
+
+// TestShardCoordinatorStreams: the coordinator's streamed response carries
+// the full grid, cell values identical to single-process.
+func TestShardCoordinatorStreams(t *testing.T) {
+	configs := `"configs":[{"backend":"tcle","pattern":"T8<2,5>"}]`
+	single := postJSON(t, testServer(t, 2).Routes(), "/v1/simulate", smallBody(configs))
+	if single.Code != http.StatusOK {
+		t.Fatalf("single-process simulate = %d", single.Code)
+	}
+	var ref SimulateResponse
+	if err := json.Unmarshal(single.Body.Bytes(), &ref); err != nil {
+		t.Fatal(err)
+	}
+
+	coord := newWorkerFleet(t, 2)
+	rec := postJSON(t, coord.Routes(), "/v1/simulate", smallBody(configs+`,"stream":true`))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sharded stream = %d: %s", rec.Code, rec.Body.String())
+	}
+	st := parseStream(t, rec.Body.String())
+	if st.header == nil || st.summary == nil {
+		t.Fatalf("sharded stream shape: order = %v", st.order)
+	}
+	if len(st.layers) != len(ref.Configs[0].Layers) {
+		t.Fatalf("sharded stream carried %d layer lines, want %d", len(st.layers), len(ref.Configs[0].Layers))
+	}
+	for _, l := range st.layers {
+		want := ref.Configs[0].Layers[l.Layer]
+		if l.Name != want.Name || l.Cycles != want.Cycles || l.DenseCycles != want.DenseCycles || l.MACs != want.MACs {
+			t.Errorf("sharded stream cell (0,%d) = %+v, single-process has %+v", l.Layer, l, want)
+		}
+	}
+	if got, want := st.summary.Configs[0], ref.Configs[0]; got.Cycles != want.Cycles || got.Speedup != want.Speedup {
+		t.Errorf("sharded summary = %+v, single-process totals %+v", got, want)
+	}
+}
+
+// TestShardWorkerFailureIs502: a broken worker turns into a Bad Gateway
+// answer (the request was fine; the fleet was not), as JSON.
+func TestShardWorkerFailureIs502(t *testing.T) {
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "worker on fire", http.StatusInternalServerError)
+	}))
+	t.Cleanup(broken.Close)
+	good := New(Config{MaxInFlight: 4, DefaultTimeout: 30 * time.Second, MaxTimeout: time.Minute, Parallelism: 2})
+	goodTS := httptest.NewServer(good.Routes())
+	t.Cleanup(goodTS.Close)
+
+	coord := New(Config{
+		MaxInFlight:    2,
+		DefaultTimeout: 30 * time.Second,
+		MaxTimeout:     time.Minute,
+		Workers:        []string{goodTS.URL, broken.URL},
+	})
+	rec := postJSON(t, coord.Routes(), "/v1/simulate", smallBody(`"configs":[{"backend":"dense"}]`))
+	if rec.Code != http.StatusBadGateway {
+		t.Fatalf("broken-fleet simulate = %d, want 502 (%s)", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("502 Content-Type = %q, want application/json", ct)
+	}
+	if !strings.Contains(rec.Body.String(), broken.URL) {
+		t.Errorf("502 body does not name the failing worker: %s", rec.Body.String())
+	}
+	// The failure is not cached: with the fleet healthy again the same
+	// fingerprint succeeds.
+	coord2 := newWorkerFleet(t, 2)
+	if rec := postJSON(t, coord2.Routes(), "/v1/simulate", smallBody(`"configs":[{"backend":"dense"}]`)); rec.Code != http.StatusOK {
+		t.Errorf("healthy-fleet retry = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestFingerprintSensitivity: the content address moves with every value
+// the engine output depends on, and only those.
+func TestFingerprintSensitivity(t *testing.T) {
+	base := `{"model":"AlexNet-ES","channel_scale":0.1,"spatial_scale":0.25,"configs":[{"backend":"tcle","pattern":"T8<2,5>"}]`
+	fpOf := func(body string) string {
+		t.Helper()
+		rec := postJSON(t, testServer(t, 2).Routes(), "/v1/simulate", body+"}")
+		if rec.Code != http.StatusOK {
+			t.Fatalf("simulate = %d: %s", rec.Code, rec.Body.String())
+		}
+		var resp SimulateResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		return resp.Fingerprint
+	}
+	ref := fpOf(base)
+	// Execution knobs do not move the fingerprint.
+	for name, same := range map[string]string{
+		"parallelism": base + `,"parallelism":3`,
+		"timeout":     base + `,"timeout_ms":59000`,
+	} {
+		if got := fpOf(same); got != ref {
+			t.Errorf("%s moved the fingerprint: %s vs %s", name, got, ref)
+		}
+	}
+	// Content knobs do.
+	for name, diff := range map[string]string{
+		"weight seed":   strings.Replace(base, `"spatial_scale":0.25`, `"spatial_scale":0.25,"seed":2`, 1),
+		"act seed":      strings.Replace(base, `"spatial_scale":0.25`, `"spatial_scale":0.25,"act_seed":9`, 1),
+		"channel scale": strings.Replace(base, `"channel_scale":0.1`, `"channel_scale":0.12`, 1),
+		"pattern":       strings.Replace(base, "T8<2,5>", "L8<1,6>", 1),
+		"backend":       strings.Replace(base, "tcle", "tclp", 1),
+		"width":         strings.Replace(base, `"pattern":"T8<2,5>"`, `"pattern":"T8<2,5>","width":8`, 1),
+		"extra config":  strings.Replace(base, `"configs":[`, `"configs":[{"backend":"dense"},`, 1),
+	} {
+		if got := fpOf(diff); got == ref {
+			t.Errorf("%s did NOT move the fingerprint", name)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+)
+
+// The streaming protocol: `"stream": true` turns /v1/simulate into an
+// NDJSON response (Content-Type application/x-ndjson), one JSON object per
+// line, flushed as written:
+//
+//	{"type":"header", "model":…, "fingerprint":…, "source":…, "configs":[names]}
+//	{"type":"layer", "config":k, "layer":i, "name":…, "cycles":…, "dense_cycles":…, "macs":…}  × (configs × layers)
+//	{"type":"summary", "configs":[{name, cycles, dense_cycles, speedup}], "elapsed_ms":…}
+//	{"type":"error", "error":…}   — terminal, replaces the summary
+//
+// When the request leads an engine run, layer lines are emitted the moment
+// each (config, layer) cell merges — concurrently-finishing layers
+// interleave in arbitrary order, which is why every line carries its own
+// (config, layer) coordinates. A coalesced or cached request emits the same
+// lines from the finished sweep, in grid order. The set of lines (and every
+// value on them) is identical either way; only line order varies.
+
+type streamHeader struct {
+	Type        string   `json:"type"`
+	Model       string   `json:"model"`
+	Fingerprint string   `json:"fingerprint"`
+	Source      string   `json:"source"`
+	Configs     []string `json:"configs"`
+}
+
+type streamLayer struct {
+	Type        string `json:"type"`
+	Config      int    `json:"config"`
+	Layer       int    `json:"layer"`
+	Name        string `json:"name"`
+	Cycles      int64  `json:"cycles"`
+	DenseCycles int64  `json:"dense_cycles"`
+	MACs        int64  `json:"macs"`
+}
+
+type streamConfigTotal struct {
+	Name        string  `json:"name"`
+	Cycles      int64   `json:"cycles"`
+	DenseCycles int64   `json:"dense_cycles"`
+	Speedup     float64 `json:"speedup"`
+}
+
+type streamSummary struct {
+	Type      string              `json:"type"`
+	Configs   []streamConfigTotal `json:"configs"`
+	ElapsedMs float64             `json:"elapsed_ms"`
+}
+
+type streamError struct {
+	Type  string `json:"type"`
+	Error string `json:"error"`
+}
+
+// streamWriter serializes NDJSON lines onto one response. Layer lines
+// arrive from whichever engine worker finished a layer, so every write is
+// mutex-serialized and flushed whole — a reader sees complete lines only.
+type streamWriter struct {
+	mu      sync.Mutex
+	w       http.ResponseWriter
+	flusher http.Flusher
+	enc     *json.Encoder
+	started bool
+}
+
+func newStreamWriter(w http.ResponseWriter) *streamWriter {
+	f, _ := w.(http.Flusher)
+	return &streamWriter{w: w, flusher: f, enc: json.NewEncoder(w)}
+}
+
+// writeLine emits one NDJSON line; the first line commits the 200 status
+// and the NDJSON content type.
+func (sw *streamWriter) writeLine(v any) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if !sw.started {
+		sw.started = true
+		sw.w.Header().Set("Content-Type", "application/x-ndjson")
+		sw.w.WriteHeader(http.StatusOK)
+	}
+	_ = sw.enc.Encode(v)
+	if sw.flusher != nil {
+		sw.flusher.Flush()
+	}
+}
+
+// Started reports whether any line (hence the status) went out.
+func (sw *streamWriter) Started() bool {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.started
+}
+
+func (sw *streamWriter) header(model, fp string, src Source, configs []string) {
+	sw.writeLine(streamHeader{Type: "header", Model: model, Fingerprint: fp, Source: string(src), Configs: configs})
+}
+
+func (sw *streamWriter) layer(cfg, layer int, lp LayerPayload) {
+	sw.writeLine(streamLayer{
+		Type: "layer", Config: cfg, Layer: layer,
+		Name: lp.Name, Cycles: lp.Cycles, DenseCycles: lp.DenseCycles, MACs: lp.MACs,
+	})
+}
+
+func (sw *streamWriter) summary(resp *SimulateResponse) {
+	s := streamSummary{Type: "summary", ElapsedMs: resp.ElapsedMs}
+	for _, c := range resp.Configs {
+		s.Configs = append(s.Configs, streamConfigTotal{
+			Name: c.Name, Cycles: c.Cycles, DenseCycles: c.DenseCycles, Speedup: c.Speedup,
+		})
+	}
+	sw.writeLine(s)
+}
+
+func (sw *streamWriter) error(msg string) {
+	sw.writeLine(streamError{Type: "error", Error: msg})
+}

@@ -1,0 +1,260 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// parseStream splits an NDJSON response into its typed lines.
+type streamLines struct {
+	header  *streamHeader
+	layers  []streamLayer
+	summary *streamSummary
+	errLine *streamError
+	order   []string // line types in arrival order
+}
+
+func parseStream(t *testing.T, body string) streamLines {
+	t.Helper()
+	var out streamLines
+	sc := bufio.NewScanner(strings.NewReader(body))
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		var tag struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &tag); err != nil {
+			t.Fatalf("non-JSON stream line %q: %v", line, err)
+		}
+		out.order = append(out.order, tag.Type)
+		switch tag.Type {
+		case "header":
+			out.header = &streamHeader{}
+			if err := json.Unmarshal(line, out.header); err != nil {
+				t.Fatal(err)
+			}
+		case "layer":
+			var l streamLayer
+			if err := json.Unmarshal(line, &l); err != nil {
+				t.Fatal(err)
+			}
+			out.layers = append(out.layers, l)
+		case "summary":
+			out.summary = &streamSummary{}
+			if err := json.Unmarshal(line, out.summary); err != nil {
+				t.Fatal(err)
+			}
+		case "error":
+			out.errLine = &streamError{}
+			if err := json.Unmarshal(line, out.errLine); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			t.Fatalf("unknown stream line type %q", tag.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSimulateStreaming pins the NDJSON contract for a leader run: header
+// first, one layer line per (config, layer) cell, summary last — and the
+// streamed values agree exactly with the buffered response for the same
+// request.
+func TestSimulateStreaming(t *testing.T) {
+	h := testServer(t, 2).Routes()
+	configs := `"configs":[{"backend":"dense"},{"backend":"tcle","pattern":"T8<2,5>"}]`
+
+	rec := postJSON(t, h, "/v1/simulate", smallBody(configs+`,"stream":true`))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("streaming simulate = %d: %s", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream Content-Type = %q, want application/x-ndjson", ct)
+	}
+	st := parseStream(t, rec.Body.String())
+	if st.header == nil || st.summary == nil || st.errLine != nil {
+		t.Fatalf("stream shape: order = %v", st.order)
+	}
+	if st.order[0] != "header" || st.order[len(st.order)-1] != "summary" {
+		t.Errorf("stream framing: order = %v, want header first and summary last", st.order)
+	}
+	if st.header.Source != string(SourceEngine) {
+		t.Errorf("leader stream source = %q, want engine", st.header.Source)
+	}
+	if len(st.header.Configs) != 2 {
+		t.Fatalf("header names %d configs, want 2", len(st.header.Configs))
+	}
+
+	// A buffered run of the identical request (fresh server: no cache) is
+	// the ground truth the stream must reproduce cell for cell.
+	brec := postJSON(t, testServer(t, 2).Routes(), "/v1/simulate", smallBody(configs))
+	if brec.Code != http.StatusOK {
+		t.Fatalf("buffered simulate = %d", brec.Code)
+	}
+	var buffered SimulateResponse
+	if err := json.Unmarshal(brec.Body.Bytes(), &buffered); err != nil {
+		t.Fatal(err)
+	}
+	if buffered.Fingerprint != st.header.Fingerprint {
+		t.Errorf("stream fingerprint %s != buffered %s", st.header.Fingerprint, buffered.Fingerprint)
+	}
+	nLayers := len(buffered.Configs[0].Layers)
+	if want := 2 * nLayers; len(st.layers) != want {
+		t.Fatalf("stream carried %d layer lines, want %d (2 configs x %d layers)", len(st.layers), want, nLayers)
+	}
+	// Every (config, layer) coordinate appears exactly once and matches the
+	// buffered cell — order-independent, since engine workers interleave.
+	seen := map[[2]int]streamLayer{}
+	for _, l := range st.layers {
+		key := [2]int{l.Config, l.Layer}
+		if _, dup := seen[key]; dup {
+			t.Fatalf("duplicate stream cell (%d,%d)", l.Config, l.Layer)
+		}
+		seen[key] = l
+	}
+	for k, cp := range buffered.Configs {
+		for i, bl := range cp.Layers {
+			sl, ok := seen[[2]int{k, i}]
+			if !ok {
+				t.Fatalf("stream missing cell (%d,%d)", k, i)
+			}
+			if sl.Name != bl.Name || sl.Cycles != bl.Cycles || sl.DenseCycles != bl.DenseCycles || sl.MACs != bl.MACs {
+				t.Errorf("stream cell (%d,%d) = %+v, buffered = %+v", k, i, sl, bl)
+			}
+		}
+	}
+	for i, cp := range buffered.Configs {
+		got := st.summary.Configs[i]
+		if got.Name != cp.Name || got.Cycles != cp.Cycles || got.DenseCycles != cp.DenseCycles || got.Speedup != cp.Speedup {
+			t.Errorf("summary config %d = %+v, buffered = %+v", i, got, cp)
+		}
+	}
+}
+
+// TestSimulateStreamCachedReplay: a streamed repeat of a finished request
+// replays the identical cells from the LRU, in grid order, with zero new
+// engine work.
+func TestSimulateStreamCachedReplay(t *testing.T) {
+	h := testServer(t, 2).Routes()
+	configs := `"configs":[{"backend":"tcle","pattern":"T8<2,5>"}]`
+	if rec := postJSON(t, h, "/v1/simulate", smallBody(configs)); rec.Code != http.StatusOK {
+		t.Fatalf("warm-up simulate = %d", rec.Code)
+	}
+
+	before := poolItems()
+	rec := postJSON(t, h, "/v1/simulate", smallBody(configs+`,"stream":true`))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("cached stream = %d: %s", rec.Code, rec.Body.String())
+	}
+	if delta := poolItems() - before; delta != 0 {
+		t.Errorf("cached stream ran %d engine items, want 0", delta)
+	}
+	st := parseStream(t, rec.Body.String())
+	if st.header == nil || st.header.Source != string(SourceCache) {
+		t.Fatalf("cached stream header = %+v, want source cache", st.header)
+	}
+	// Replay is in grid order: layer index strictly increases within the
+	// single config.
+	for i, l := range st.layers {
+		if l.Config != 0 || l.Layer != i {
+			t.Fatalf("replay out of grid order at line %d: (%d,%d)", i, l.Config, l.Layer)
+		}
+	}
+	if st.summary == nil {
+		t.Fatal("cached stream has no summary line")
+	}
+}
+
+// TestSimulateStreamBadRequest: request errors are caught before any line
+// goes out, so the client still gets a plain JSON 400.
+func TestSimulateStreamBadRequest(t *testing.T) {
+	h := testServer(t, 2).Routes()
+	rec := postJSON(t, h, "/v1/simulate", `{"model":"NotANet","stream":true}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad streamed request = %d, want 400", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("pre-stream error Content-Type = %q, want application/json", ct)
+	}
+}
+
+// TestSimulateStreamTimeout: once the stream has committed its 200, an
+// engine failure becomes a terminal error line instead of a status code.
+func TestSimulateStreamTimeout(t *testing.T) {
+	h := testServer(t, 2).Routes()
+	rec := postJSON(t, h, "/v1/simulate",
+		`{"model":"AlexNet-ES","channel_scale":0.3,"spatial_scale":0.4,"stream":true,"timeout_ms":1}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("streamed timeout = %d, want 200 (status committed by the header line)", rec.Code)
+	}
+	st := parseStream(t, rec.Body.String())
+	if st.errLine == nil {
+		t.Fatalf("streamed timeout carried no error line: order = %v", st.order)
+	}
+	if st.summary != nil {
+		t.Error("streamed timeout carried both an error line and a summary")
+	}
+	if last := st.order[len(st.order)-1]; last != "error" {
+		t.Errorf("error line is not terminal: order = %v", st.order)
+	}
+	if !strings.Contains(st.errLine.Error, "deadline") {
+		t.Errorf("error line %q does not name the deadline", st.errLine.Error)
+	}
+}
+
+// TestSimulateStreamCoalescedFollower: followers of an in-flight identical
+// request stream the full replay once the leader finishes.
+func TestSimulateStreamCoalescedFollower(t *testing.T) {
+	const n = 4
+	s := testServer(t, n)
+	h := s.Routes()
+	body := smallBody(`"configs":[{"backend":"tcle","pattern":"T8<2,5>"}],"stream":true`)
+	type res struct {
+		code int
+		st   streamLines
+	}
+	results := make(chan res, n)
+	for i := 0; i < n; i++ {
+		go func() {
+			rec := postJSON(t, h, "/v1/simulate", body)
+			results <- res{code: rec.Code, st: parseStream(t, rec.Body.String())}
+		}()
+	}
+	var sources []string
+	var layerCounts []int
+	for i := 0; i < n; i++ {
+		r := <-results
+		if r.code != http.StatusOK {
+			t.Fatalf("concurrent stream = %d", r.code)
+		}
+		if r.st.header == nil || r.st.summary == nil {
+			t.Fatalf("concurrent stream shape: order = %v", r.st.order)
+		}
+		sources = append(sources, r.st.header.Source)
+		layerCounts = append(layerCounts, len(r.st.layers))
+	}
+	engines := 0
+	for _, src := range sources {
+		if src == string(SourceEngine) {
+			engines++
+		}
+	}
+	if engines != 1 {
+		t.Errorf("concurrent streams report sources %v, want exactly one engine", sources)
+	}
+	for i := 1; i < n; i++ {
+		if layerCounts[i] != layerCounts[0] {
+			t.Errorf("stream %d carried %d layer lines, stream 0 carried %d — every caller gets the full grid", i, layerCounts[i], layerCounts[0])
+		}
+	}
+	if st := s.Cache().Stats(); st.Runs != 1 {
+		t.Errorf("cache led %d runs for %d identical streams, want 1", st.Runs, n)
+	}
+}

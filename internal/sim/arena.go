@@ -79,6 +79,50 @@ func grow[T any](sl []T, n int) []T {
 	return sl[:n]
 }
 
+// sweepState is the pooled per-invocation assembly of simulateSweep: the
+// config/layer/group bookkeeping structs and the work-item queue, sized by
+// the pre-pass and carved into per-config and per-layer views. The
+// experiment drivers invoke the engine once per (config, layer), so before
+// this pool every invocation re-allocated the entire assembly — the
+// dominant remainder of fig8a's allocation profile after the group arenas
+// landed. Only the LayerResult slices returned to the caller escape; they
+// are allocated fresh per run.
+type sweepState struct {
+	works    []configWork
+	layers   []layerWork
+	accums   []groupAccum
+	partials []windowPartial
+	slots    []planeSlot
+	items    []workItem
+}
+
+var sweepStatePool = sync.Pool{New: func() any { return new(sweepState) }}
+
+// carve resizes the state's backing arrays to one sweep's exact totals and
+// zeroes them: every struct here carries one-shot synchronization
+// (sync.Once, atomic countdowns) or incrementally-built contents that must
+// start clean, and the clear also drops the previous run's pointers
+// (schedules, planes, lowered layers) so pooling never extends their
+// lifetime past the next engine entry.
+func (st *sweepState) carve(nCfgs, nLayers, nAccums, nPartials, nSlots, nItems int) {
+	st.works = grow(st.works, nCfgs)
+	clear(st.works)
+	st.layers = grow(st.layers, nLayers)
+	clear(st.layers)
+	st.accums = grow(st.accums, nAccums)
+	clear(st.accums)
+	st.partials = grow(st.partials, nPartials)
+	clear(st.partials)
+	st.slots = grow(st.slots, nSlots)
+	clear(st.slots)
+	if cap(st.items) < nItems {
+		st.items = make([]workItem, 0, nItems)
+	} else {
+		st.items = st.items[:0]
+		clear(st.items[:cap(st.items)])
+	}
+}
+
 // fullMasks memoizes the ungated participation mask per lane count: the
 // all-lanes SWAR mask is immutable and identical for every ungated group
 // of a given geometry, so groups share one slice instead of building one

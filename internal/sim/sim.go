@@ -107,11 +107,21 @@ type workItem struct {
 // flattens every config's chunks into one queue, so independent configs
 // overlap in the pool instead of executing back to back.
 type configWork struct {
+	idx    int // position in the sweep's config list (OnLayerResult's cfg)
 	cfg    arch.Config
 	lws    []*nn.Lowered
 	ct     *costTable
-	keyer  *sched.Keyer // pre-keyed schedule-cache handle; nil when caching is off
+	keyer  sched.Keyer // pre-keyed schedule-cache handle; valid iff hasKeyer
+	hasKey bool
 	layers []layerWork
+}
+
+// keyerPtr adapts the inline keyer to prepareGroupInto's nil-able view.
+func (cw *configWork) keyerPtr() *sched.Keyer {
+	if !cw.hasKey {
+		return nil
+	}
+	return &cw.keyer
 }
 
 // layerWork is one layer's slice of a config's run state, kept in a single
@@ -120,6 +130,13 @@ type layerWork struct {
 	pad    []bool
 	planes layerPlanes
 	accums []groupAccum
+	// result is the layer's merged outcome, written by the worker that
+	// finishes the layer's last group (and published to the caller by the
+	// pool's WaitGroup barrier). Merging at completion time instead of
+	// after the pool drains is what lets OnLayerResult stream a layer the
+	// moment its shards fold; the merge consumes only the layer's own
+	// complete accums, so the result is bit-identical either way.
+	result LayerResult
 	// Latency tracking: first-touch timestamp (CAS once) and a countdown
 	// of unfinished groups; the worker finishing the layer's last group
 	// observes the span.
@@ -235,10 +252,12 @@ func simulateSweep(ctx context.Context, cfgs []arch.Config, lwss [][]*nn.Lowered
 	cache := opts.cache()
 	planeCache := opts.planeCache()
 	workers := opts.workers()
+	onLayer := opts.OnLayerResult
 
 	totalGroups := 0
-	works := make([]*configWork, len(cfgs))
+	totalLayers := 0
 	for k, cfg := range cfgs {
+		totalLayers += len(lwss[k])
 		for _, lw := range lwss[k] {
 			if lw.Lanes != cfg.Lanes {
 				panic(fmt.Sprintf("sim: lowered lanes %d != config lanes %d", lw.Lanes, cfg.Lanes))
@@ -247,47 +266,73 @@ func simulateSweep(ctx context.Context, cfgs []arch.Config, lwss [][]*nn.Lowered
 		}
 	}
 
-	// Exact item count up front — chunking only expands the queue when
-	// groups alone cannot fill the pool, and the expansion factor depends
-	// on totalGroups, so this needs its own pass. layerChunks is the single
-	// source of the per-layer chunk arithmetic the build loop reuses.
-	totalItems := 0
+	// Exact working-set sizes up front — chunking only expands the queue
+	// when groups alone cannot fill the pool, and the expansion factor
+	// depends on totalGroups, so this needs its own pass. layerChunks is
+	// the single source of the per-layer chunk arithmetic the build loop
+	// reuses. The totals size the pooled sweepState carves below: the
+	// experiment drivers invoke the engine once per (config, layer), so
+	// without the pool every invocation re-allocated this entire assembly.
+	totalItems, totalAccums, totalPartials, totalSlots := 0, 0, 0, 0
 	for k, cfg := range cfgs {
 		for _, lw := range lwss[k] {
 			nChunks, denseGroups, _ := layerChunks(cfg, lw, totalGroups, workers)
 			totalItems += denseGroups * nChunks
+			totalAccums += denseGroups
+			totalPartials += denseGroups * nChunks
+			if cfg.Serial() {
+				totalSlots += lw.ActGroups()
+			}
 		}
 	}
-	items := make([]workItem, 0, totalItems)
+
+	st := sweepStatePool.Get().(*sweepState)
+	defer sweepStatePool.Put(st)
+	st.carve(len(cfgs), totalLayers, totalAccums, totalPartials, totalSlots, totalItems)
+	items := st.items
+	layerOff, accumOff, partialOff, slotOff := 0, 0, 0, 0
 	for k, cfg := range cfgs {
 		lws := lwss[k]
-		cw := &configWork{
-			cfg:    cfg,
-			lws:    lws,
-			ct:     costTableFor(cfg.Backend, cfg.Width),
-			layers: make([]layerWork, len(lws)),
-		}
+		cw := &st.works[k]
+		cw.idx = k
+		cw.cfg = cfg
+		cw.lws = lws
+		cw.ct = costTableFor(cfg.Backend, cfg.Width)
+		cw.layers = st.layers[layerOff : layerOff+len(lws)]
+		layerOff += len(lws)
 		if cache != nil && cfg.HasFrontEnd() {
 			// Key the cache once per (config): the pattern key and algorithm
 			// tag are shared by every group lookup below, so per-group calls
 			// hash only filter contents.
-			ky := cache.Keyer(cfg.Pattern, cfg.Scheduler)
-			cw.keyer = &ky
+			cw.keyer = cache.Keyer(cfg.Pattern, cfg.Scheduler)
+			cw.hasKey = true
 		}
-		works[k] = cw
 		rows := cfg.FiltersPerTile
 		for li, lw := range lws {
 			lwk := &cw.layers[li]
 			lwk.pad = padMask(lw)
 			if cfg.Serial() {
-				lwk.planes.slots = make([]planeSlot, lw.ActGroups())
+				lwk.planes.slots = st.slots[slotOff : slotOff+lw.ActGroups()]
+				slotOff += lw.ActGroups()
 			}
 			nChunks, denseGroups, windowGroups := layerChunks(cfg, lw, totalGroups, workers)
-			lwk.accums = make([]groupAccum, denseGroups)
+			lwk.accums = st.accums[accumOff : accumOff+denseGroups]
+			accumOff += denseGroups
 			lwk.remaining.Store(int32(denseGroups))
-			// One flat partial array per layer; each group views its chunk
+			if denseGroups == 0 {
+				// A layer with no filter groups never enters the pool; merge
+				// its (empty) result here so callers and callbacks still see
+				// every (config, layer) cell.
+				lwk.result = mergeLayer(cfg, lw, nil)
+				if onLayer != nil {
+					onLayer(k, li, lwk.result)
+				}
+				continue
+			}
+			// One flat partial range per layer; each group views its chunk
 			// range, so the per-group slice costs nothing.
-			layerPartials := make([]windowPartial, denseGroups*nChunks)
+			layerPartials := st.partials[partialOff : partialOff+denseGroups*nChunks]
+			partialOff += denseGroups * nChunks
 			for g := 0; g < denseGroups; g++ {
 				f0 := g * rows
 				f1 := min(f0+rows, lw.Filters)
@@ -318,7 +363,7 @@ func simulateSweep(ctx context.Context, cfgs []arch.Config, lwss [][]*nn.Lowered
 		}
 		ga := &lwk.accums[it.group]
 		ga.once.Do(func() {
-			prepareGroupInto(&ga.ctxStore, cw.cfg, lw, cw.ct, lwk.pad, it.f0, it.f1, len(ga.partials), cw.keyer)
+			prepareGroupInto(&ga.ctxStore, cw.cfg, lw, cw.ct, lwk.pad, it.f0, it.f1, len(ga.partials), cw.keyerPtr())
 			ga.ctx = &ga.ctxStore
 			if ga.ctx.needsWindows {
 				// Resolve each PE row's act-group plane once per group; a
@@ -338,7 +383,11 @@ func simulateSweep(ctx context.Context, cfgs []arch.Config, lwss [][]*nn.Lowered
 			ga.result = finishGroup(cw.cfg, ga.ctx, ga.partials)
 			ga.ctx = nil
 			if lwk.remaining.Add(-1) == 0 {
+				lwk.result = mergeLayer(cw.cfg, lw, lwk.accums)
 				layerLatency.Observe(time.Duration(time.Now().UnixNano() - lwk.start.Load()))
+				if onLayer != nil {
+					onLayer(cw.idx, it.layer, lwk.result)
+				}
 			}
 		}
 	})
@@ -349,11 +398,19 @@ func simulateSweep(ctx context.Context, cfgs []arch.Config, lwss [][]*nn.Lowered
 		// Unreachable: the pool only stops early when ctx is done.
 		return nil, context.Canceled
 	}
-	out := make([][]LayerResult, len(works))
-	for k, cw := range works {
-		out[k] = make([]LayerResult, len(cw.lws))
-		for li, lw := range cw.lws {
-			out[k][li] = mergeLayer(cw.cfg, lw, cw.layers[li].accums)
+	// The results escape to the caller, so they cannot come from the pooled
+	// state: two flat allocations cover the whole sweep. Each layer was
+	// merged by the worker that finished it; the pool's WaitGroup barrier
+	// publishes those writes.
+	flat := make([]LayerResult, totalLayers)
+	out := make([][]LayerResult, len(cfgs))
+	off := 0
+	for k := range st.works {
+		cw := &st.works[k]
+		out[k] = flat[off : off+len(cw.lws) : off+len(cw.lws)]
+		off += len(cw.lws)
+		for li := range cw.lws {
+			out[k][li] = cw.layers[li].result
 		}
 	}
 	return out, nil

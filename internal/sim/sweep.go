@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"fmt"
 
 	"bittactical/internal/arch"
 	"bittactical/internal/nn"
@@ -29,6 +30,38 @@ func SimulateSweep(cfgs []arch.Config, m *nn.Model, acts []*tensor.T) ([]*Result
 // Cancellation matches SimulateModelContext: a done ctx stops the pool and
 // returns (nil, ctx.Err()) with no partial results for any config.
 func SimulateSweepContext(ctx context.Context, cfgs []arch.Config, m *nn.Model, acts []*tensor.T, opts Options) ([]*Result, error) {
+	layerss, err := simulateGrid(ctx, cfgs, m, acts, nil, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, len(cfgs))
+	for k, cfg := range cfgs {
+		out[k] = &Result{Config: cfg.Name, Layers: layerss[k]}
+	}
+	return out, nil
+}
+
+// SimulateGridContext runs an arbitrary rectangle of the (config, layer)
+// design-space grid: every config in cfgs against exactly the model layers
+// named by layerIdx (indices into the lowered layer list, any order,
+// duplicates allowed). The returned [config][i] cell corresponds to
+// layerIdx[i].
+//
+// This is the shard-worker entry point: a coordinator that partitions a
+// sweep's layers across processes has each worker simulate its slice of
+// the grid. Each cell is computed by the same per-layer pipeline as a full
+// sweep — a layer's result depends only on its own filter groups — so a
+// cell is bit-identical however the grid is partitioned, which is what
+// makes the coordinator's fixed-order merge reproduce single-process
+// output exactly.
+func SimulateGridContext(ctx context.Context, cfgs []arch.Config, m *nn.Model, acts []*tensor.T, layerIdx []int, opts Options) ([][]LayerResult, error) {
+	return simulateGrid(ctx, cfgs, m, acts, layerIdx, opts)
+}
+
+// simulateGrid validates and lowers, then runs the engine over cfgs ×
+// layers. A nil layerIdx means all layers; a non-nil one selects (and
+// orders) the subset.
+func simulateGrid(ctx context.Context, cfgs []arch.Config, m *nn.Model, acts []*tensor.T, layerIdx []int, opts Options) ([][]LayerResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -49,15 +82,17 @@ func SimulateSweepContext(ctx context.Context, cfgs []arch.Config, m *nn.Model, 
 			}
 			lwByLanes[cfg.Lanes] = lws
 		}
+		if layerIdx != nil {
+			sub := make([]*nn.Lowered, len(layerIdx))
+			for i, li := range layerIdx {
+				if li < 0 || li >= len(lws) {
+					return nil, fmt.Errorf("sim: layer index %d out of range (model %q has %d layers)", li, m.Name, len(lws))
+				}
+				sub[i] = lws[li]
+			}
+			lws = sub
+		}
 		lwss[k] = lws
 	}
-	layerss, err := simulateSweep(ctx, cfgs, lwss, opts)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]*Result, len(cfgs))
-	for k, cfg := range cfgs {
-		out[k] = &Result{Config: cfg.Name, Layers: layerss[k]}
-	}
-	return out, nil
+	return simulateSweep(ctx, cfgs, lwss, opts)
 }
