@@ -53,8 +53,9 @@ serve-smoke:
 
 # Distributed-mode load smoke: real tclserve binaries — a coordinator over
 # two shard workers — must return results byte-identical to a standalone
-# single-process server, then survive a short tclload drive with zero
-# errors and a nonzero coalesce hit rate.
+# single-process server, survive a short tclload drive with zero errors and
+# a nonzero coalesce hit rate, and then keep serving with zero errors and
+# bit-identical results after one worker is SIGKILLed mid-drive (failover).
 shard-smoke:
 	TCL_SHARD_SMOKE=1 $(GO) test ./cmd/tclserve -run TestShardSmoke -v -timeout 10m
 
@@ -81,7 +82,9 @@ bench-kernel:
 	TCL_BENCH_KERNEL=1 TCL_BENCH_FORCE=$(FORCE) $(GO) test ./internal/sim -run TestEmitBenchKernel -v -timeout 10m
 
 # Regenerate BENCH_serve.json: request latency percentiles, throughput and
-# coalesce hit rate for the tclserve HTTP tier under three load shapes.
+# coalesce hit rate for the tclserve HTTP tier under three load shapes,
+# plus deterministic shard-balance rows (max/mean predicted shard cost for
+# the LPT partitioner vs round-robin on every zoo model).
 bench-serve:
 	TCL_BENCH_SERVE=1 TCL_BENCH_FORCE=$(FORCE) $(GO) test -run TestEmitBenchServe -v -timeout 30m
 

@@ -159,7 +159,9 @@ func TestEmitBenchSim(t *testing.T) {
 // TestEmitBenchServe regenerates BENCH_serve.json through the shared
 // internal/bench serve suite: a fresh in-process tclserve behind loopback
 // HTTP, driven by the tclload machinery over three load shapes (unique
-// requests, hot coalesced repeats, streamed repeats). Gated behind
+// requests, hot coalesced repeats, streamed repeats), plus deterministic
+// shard-balance rows — max/mean predicted shard cost for the LPT
+// partitioner vs round-robin on every zoo model. Gated behind
 // TCL_BENCH_SERVE=1 (`make bench-serve`).
 func TestEmitBenchServe(t *testing.T) {
 	if os.Getenv("TCL_BENCH_SERVE") == "" {

@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -40,7 +41,9 @@ func main() {
 			"comma-separated backend[:pattern] config list (empty = server default sweep)")
 		stream  = flag.Bool("stream", false, "request NDJSON streaming responses")
 		unique  = flag.Bool("unique", false, "rotate act_seed per request (defeat coalescing and the result cache)")
-		timeout = flag.Duration("timeout", 2*time.Minute, "per-request server deadline")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-request server deadline")
+		waitReady = flag.Duration("wait-ready", 0,
+			"poll the server's /healthz for up to this long before driving (0 = no wait)")
 	)
 	flag.Parse()
 
@@ -58,8 +61,15 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	base := strings.TrimSuffix(*addr, "/")
+	if *waitReady > 0 {
+		if err := awaitReady(ctx, base, *waitReady); err != nil {
+			fmt.Fprintln(os.Stderr, "tclload:", err)
+			os.Exit(1)
+		}
+	}
 	rep, err := serve.RunLoad(ctx, serve.LoadOptions{
-		BaseURL:     strings.TrimSuffix(*addr, "/"),
+		BaseURL:     base,
 		Requests:    *n,
 		Concurrency: *conc,
 		Body:        body,
@@ -78,6 +88,33 @@ func main() {
 	if rep.Errors > 0 {
 		fmt.Fprintf(os.Stderr, "tclload: %d of %d requests failed\n", rep.Errors, rep.Requests)
 		os.Exit(2)
+	}
+}
+
+// awaitReady polls base/healthz until it answers 200, the deadline passes,
+// or ctx is cancelled — so scripted drives (the shard smoke test's
+// mid-kill scenario) can start the moment a freshly-spawned fleet is up
+// instead of sleeping a guessed amount.
+func awaitReady(ctx context.Context, base string, d time.Duration) error {
+	ctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+		if err != nil {
+			return err
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("server at %s not ready after %s", base, d)
+		case <-time.After(50 * time.Millisecond):
+		}
 	}
 }
 

@@ -18,8 +18,12 @@
 // request's content fingerprint, so repeat sweeps are served without
 // touching the engine. With -workers url,url,… the process becomes a
 // coordinator: each sweep's (config, layer) grid is split across the named
-// worker tclserves and merged deterministically (bit-identical to a
-// single-process run at any worker count).
+// worker tclserves — layers packed by predicted cost (-shard-partition lpt)
+// — and merged deterministically (bit-identical to a single-process run at
+// any worker count). A failed worker's slice is re-dispatched to survivors
+// (-shard-retries/-shard-backoff), and background /healthz probes
+// (-health-interval) keep known-dead workers out of new partitions, so a
+// worker killed mid-sweep degrades capacity instead of failing requests.
 //
 // Requests honor a per-request deadline (timeout_ms, clamped to
 // -max-timeout): the engine's workers stop claiming work when it expires
@@ -57,6 +61,14 @@ func main() {
 			"finished-result cache budget in bytes (0 = default, negative disables retention)")
 		workers = flag.String("workers", "",
 			"comma-separated worker base URLs; non-empty runs this process as a shard coordinator")
+		shardRetries = flag.Int("shard-retries", 0,
+			"max re-dispatch rounds after a shard worker failure (0 = default of 2, negative disables failover)")
+		shardBackoff = flag.Duration("shard-backoff", 0,
+			"pause before the first re-dispatch round, doubling per round (0 = default of 50ms, negative disables)")
+		healthInterval = flag.Duration("health-interval", 5*time.Second,
+			"period of the coordinator's background worker /healthz probes (<= 0 disables probing)")
+		partition = flag.String("shard-partition", "lpt",
+			"layer partitioning strategy: lpt (cost-balanced) or roundrobin")
 	)
 	flag.Parse()
 
@@ -66,6 +78,10 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		Parallelism:    *par,
 		CacheBudget:    *cacheBudget,
+		ShardRetries:   *shardRetries,
+		ShardBackoff:   *shardBackoff,
+		HealthInterval: *healthInterval,
+		Partition:      *partition,
 	}
 	if *workers != "" {
 		for _, w := range strings.Split(*workers, ",") {
@@ -75,6 +91,7 @@ func main() {
 		}
 	}
 	s := serve.New(cfg)
+	defer s.Close()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tclserve:", err)

@@ -131,8 +131,10 @@ func TestServeSmoke(t *testing.T) {
 
 // startServe launches a freshly-built tclserve binary with the given extra
 // flags, scrapes its resolved listen address off stderr, and registers a
-// kill on test cleanup. The rest of the log is drained in the background.
-func startServe(t *testing.T, bin string, extra ...string) string {
+// kill on test cleanup. It returns the base URL and the process handle (so
+// failover scenarios can kill a worker mid-run). The rest of the log is
+// drained in the background.
+func startServe(t *testing.T, bin string, extra ...string) (string, *exec.Cmd) {
 	t.Helper()
 	args := append([]string{"-addr", "127.0.0.1:0", "-drain", "5s"}, extra...)
 	cmd := exec.Command(bin, args...)
@@ -154,11 +156,11 @@ func startServe(t *testing.T, bin string, extra ...string) string {
 				for sc.Scan() {
 				}
 			}()
-			return "http://" + strings.TrimSpace(line[i+len("listening on "):])
+			return "http://" + strings.TrimSpace(line[i+len("listening on "):]), cmd
 		}
 	}
 	t.Fatalf("server exited without logging its address (scan err: %v)", sc.Err())
-	return ""
+	return "", nil
 }
 
 // TestShardSmoke is the distributed-mode load smoke: real binaries, real
@@ -181,10 +183,11 @@ func TestShardSmoke(t *testing.T) {
 		t.Fatalf("go build tclload: %v\n%s", err, out)
 	}
 
-	solo := startServe(t, serveBin)
-	w1 := startServe(t, serveBin)
-	w2 := startServe(t, serveBin)
-	coord := startServe(t, serveBin, "-workers", w1+","+w2)
+	solo, _ := startServe(t, serveBin)
+	w1, _ := startServe(t, serveBin)
+	w2, w2cmd := startServe(t, serveBin)
+	coord, _ := startServe(t, serveBin, "-workers", w1+","+w2,
+		"-shard-retries", "2", "-shard-backoff", "25ms", "-health-interval", "500ms")
 
 	// The same sweep through both deployment shapes must agree byte for byte.
 	body := `{"model":"AlexNet-ES","channel_scale":0.1,"spatial_scale":0.25,"configs":[{"backend":"tcle","pattern":"T8<2,5>"},{"backend":"tclp","pattern":"L4<1,2>"}]}`
@@ -234,4 +237,59 @@ func TestShardSmoke(t *testing.T) {
 	}
 	fmt.Printf("shard-smoke: tclload 8 req @4 conc: p50 %.1fms p99 %.1fms, hit rate %.2f\n",
 		rep.P50Ms, rep.P99Ms, rep.CoalesceHitRate)
+
+	// Failover under fire: SIGKILL one worker while a unique-seed drive (no
+	// coalescing, no result cache — every request really dispatches) is in
+	// flight. Every request must still succeed: the dead worker's slices
+	// fail over to the survivor.
+	killLoad := exec.Command(loadBin, "-addr", coord, "-n", "6", "-c", "2", "-unique",
+		"-model", "AlexNet-ES", "-channel-scale", "0.1", "-spatial-scale", "0.25",
+		"-configs", "tcle:T8<2,5>", "-timeout", "2m", "-wait-ready", "5s")
+	var killOut, killErrBuf strings.Builder
+	killLoad.Stdout, killLoad.Stderr = &killOut, &killErrBuf
+	if err := killLoad.Start(); err != nil {
+		t.Fatalf("tclload (kill drive): %v", err)
+	}
+	killDone := make(chan error, 1)
+	go func() { killDone <- killLoad.Wait() }()
+	time.Sleep(300 * time.Millisecond) // let the drive get requests in flight
+	if err := w2cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill worker: %v", err)
+	}
+	t.Logf("shard-smoke: killed worker %s mid-drive", w2)
+	if err := <-killDone; err != nil {
+		t.Fatalf("tclload survived-kill drive failed: %v\nstdout: %s\nstderr: %s", err, killOut.String(), killErrBuf.String())
+	}
+	var killRep serve.LoadReport
+	if err := json.Unmarshal([]byte(killOut.String()), &killRep); err != nil {
+		t.Fatalf("tclload kill-drive report: %v\n%s", err, killOut.String())
+	}
+	if killRep.Errors != 0 || killRep.Requests != 6 {
+		t.Fatalf("kill-drive run unhealthy: %+v", killRep)
+	}
+
+	// A fresh activation seed (never requested above, so neither coalescing
+	// nor the result cache can answer) forces a real dispatch over the
+	// degraded fleet — and must still match single-process byte for byte.
+	freshBody := `{"model":"AlexNet-ES","channel_scale":0.1,"spatial_scale":0.25,"act_seed":424242,"configs":[{"backend":"tcle","pattern":"T8<2,5>"},{"backend":"tclp","pattern":"L4<1,2>"}]}`
+	postBody := func(base, body string) serve.SimulateResponse {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/simulate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", base, err)
+		}
+		defer resp.Body.Close()
+		var sim serve.SimulateResponse
+		if err := json.NewDecoder(resp.Body).Decode(&sim); err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST %s = %d (decode err %v)", base, resp.StatusCode, err)
+		}
+		return sim
+	}
+	degraded, ref := postBody(coord, freshBody), postBody(solo, freshBody)
+	degradedJSON, _ := json.Marshal(degraded.Configs)
+	refJSON, _ := json.Marshal(ref.Configs)
+	if string(degradedJSON) != string(refJSON) {
+		t.Fatalf("degraded-fleet result differs from single-process:\n  coord: %s\n  solo:  %s", degradedJSON, refJSON)
+	}
+	fmt.Printf("shard-smoke: worker killed mid-drive, fleet degraded 2->1, results still bit-identical\n")
 }

@@ -30,7 +30,7 @@ import (
 )
 
 // Schema identifies the baseline layout; bump when Record changes shape.
-const Schema = 3
+const Schema = 4
 
 // Record is one benchmark measurement.
 type Record struct {
@@ -68,6 +68,15 @@ type Record struct {
 	P99Ns           float64 `json:"p99_ns,omitempty"`
 	RPS             float64 `json:"rps,omitempty"`
 	CoalesceHitRate float64 `json:"coalesce_hit_rate,omitempty"`
+
+	// Shard-balance metrics (the serve suite's partition rows; zero
+	// elsewhere). Pure arithmetic over predicted per-layer costs — no
+	// timing, so host-independent and gated everywhere. ShardImbalance is
+	// max/mean predicted shard cost (1.0 = perfectly balanced, higher =
+	// worse); Max and Mean are kept for context.
+	ShardMaxCost   float64 `json:"shard_max_cost,omitempty"`
+	ShardMeanCost  float64 `json:"shard_mean_cost,omitempty"`
+	ShardImbalance float64 `json:"shard_imbalance,omitempty"`
 }
 
 // File is one committed baseline.
@@ -130,7 +139,7 @@ func WriteBaseline(path string, f *File, force bool) error {
 // worse than its baseline.
 type Regression struct {
 	ID       string
-	Metric   string // "ns/op", "allocs/op", "p50", "p99", or "coalesce_hit_rate"
+	Metric   string // "ns/op", "allocs/op", "p50", "p99", "coalesce_hit_rate", or "shard_imbalance"
 	Baseline float64
 	Current  float64
 	Ratio    float64 // Current / Baseline (+Inf for a zero baseline)
@@ -213,6 +222,16 @@ func Compare(baseline, current *File, threshold float64) Result {
 				ID: b.ID, Metric: "coalesce_hit_rate",
 				Baseline: b.CoalesceHitRate, Current: c.CoalesceHitRate,
 				Ratio: c.CoalesceHitRate / b.CoalesceHitRate,
+			})
+		}
+		// Shard imbalance is pure arithmetic over predicted layer costs —
+		// deterministic and host-independent — so a partitioner change that
+		// skews shard loads fails the gate on any machine (higher is worse).
+		if b.ShardImbalance > 0 && c.ShardImbalance > b.ShardImbalance*(1+threshold) {
+			res.Regressions = append(res.Regressions, Regression{
+				ID: b.ID, Metric: "shard_imbalance",
+				Baseline: b.ShardImbalance, Current: c.ShardImbalance,
+				Ratio: c.ShardImbalance / b.ShardImbalance,
 			})
 		}
 	}

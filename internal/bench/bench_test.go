@@ -83,6 +83,38 @@ func TestCompareNsSkipPolicy(t *testing.T) {
 	}
 }
 
+// TestCompareShardImbalance: the shard-balance rows gate everywhere —
+// pure arithmetic over predicted costs, so neither GOMAXPROCS mismatch nor
+// contention exempts them — and only growth (worse balance) fails.
+func TestCompareShardImbalance(t *testing.T) {
+	balance := func(imb float64, procs int) *File {
+		return file(Record{
+			ID: "serve/shard-balance/AlexNet-ES/lpt", GoMaxProcs: procs,
+			ShardMaxCost: 100 * imb, ShardMeanCost: 100, ShardImbalance: imb,
+		})
+	}
+	base := balance(1.2, 1)
+
+	res := Compare(base, balance(1.4, 1), 0.10)
+	if !res.Fail() || len(res.Regressions) != 1 || res.Regressions[0].Metric != "shard_imbalance" {
+		t.Fatalf("17%% imbalance growth not caught: %+v", res)
+	}
+
+	// Host shape is irrelevant: the row still gates across a GOMAXPROCS
+	// mismatch.
+	if res := Compare(base, balance(1.4, 8), 0.10); !res.Fail() {
+		t.Fatalf("imbalance growth hidden by host mismatch: %+v", res)
+	}
+
+	// Improvement and within-threshold drift pass.
+	if res := Compare(base, balance(1.0, 1), 0.10); res.Fail() {
+		t.Fatalf("imbalance improvement failed the gate: %+v", res.Regressions)
+	}
+	if res := Compare(base, balance(1.25, 1), 0.10); res.Fail() {
+		t.Fatalf("within-threshold drift failed the gate: %+v", res.Regressions)
+	}
+}
+
 // TestCompareMissingRow: silently dropping a benchmark must not pass.
 func TestCompareMissingRow(t *testing.T) {
 	base := file(rec("fig8a/j1", 1000, 100), rec("fig8b/j1", 1000, 100))

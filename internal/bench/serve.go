@@ -7,6 +7,8 @@ import (
 	"runtime"
 	"time"
 
+	"bittactical/internal/arch"
+	"bittactical/internal/nn"
 	"bittactical/internal/sched"
 	"bittactical/internal/serve"
 	"bittactical/internal/sim"
@@ -50,7 +52,84 @@ func RunServe(logf Logf) (*File, error) {
 		logf.printf("%s: p50 %.1fms, p99 %.1fms, %.1f req/s, hit rate %.3f, %d allocs/op",
 			rec.ID, rep.P50Ms, rep.P99Ms, rep.RPS, rep.CoalesceHitRate, rec.AllocsPerOp)
 	}
+	shard, err := shardBalanceRecords(logf)
+	if err != nil {
+		return nil, err
+	}
+	f.Benchmarks = append(f.Benchmarks, shard...)
 	return f, nil
+}
+
+// shardBalanceWorkers is the fleet size the balance rows model — a typical
+// small shard deployment, and enough workers that round-robin's
+// dominant-layer skew is visible on every zoo model.
+const shardBalanceWorkers = 4
+
+// shardBalanceRecords computes the coordinator's predicted shard balance —
+// max and mean predicted shard cost plus their ratio — for every zoo model
+// under the default sweep, for both the LPT partitioner and the round-robin
+// baseline. Pure arithmetic (sim.EstimateSweepLayerCosts plus bin packing),
+// no simulation and no timing, so the rows are deterministic,
+// host-independent, and gate everywhere: a partitioner change that skews
+// shard loads moves shard_imbalance on any machine. The LPT row must never
+// pack worse than round-robin — that inversion fails the generation itself,
+// not just the baseline compare.
+func shardBalanceRecords(logf Logf) ([]Record, error) {
+	cfgs, err := buildDefaultConfigs()
+	if err != nil {
+		return nil, err
+	}
+	z := nn.DefaultZoo()
+	z.ChannelScale, z.SpatialScale = 0.125, 0.35
+	var out []Record
+	for _, name := range nn.ModelNames {
+		m, err := nn.BuildModel(name, z)
+		if err != nil {
+			return nil, fmt.Errorf("bench: shard-balance: %s: %w", name, err)
+		}
+		costs, err := sim.EstimateSweepLayerCosts(cfgs, m)
+		if err != nil {
+			return nil, fmt.Errorf("bench: shard-balance: %s: %w", name, err)
+		}
+		layers := make([]int, len(m.Layers))
+		for i := range layers {
+			layers[i] = i
+		}
+		lpt := serve.BalanceOf(serve.PartitionLPT(layers, costs, shardBalanceWorkers), costs)
+		rr := serve.BalanceOf(serve.PartitionRoundRobin(layers, shardBalanceWorkers), costs)
+		if lpt.Imbalance > rr.Imbalance {
+			return nil, fmt.Errorf("bench: shard-balance: %s: LPT imbalance %.3f worse than round-robin %.3f", name, lpt.Imbalance, rr.Imbalance)
+		}
+		for _, row := range []struct {
+			strategy string
+			b        serve.ShardBalance
+		}{{"lpt", lpt}, {"roundrobin", rr}} {
+			out = append(out, Record{
+				ID:             fmt.Sprintf("serve/shard-balance/%s/%s", name, row.strategy),
+				GoMaxProcs:     runtime.GOMAXPROCS(0),
+				ShardMaxCost:   row.b.Max,
+				ShardMeanCost:  row.b.Mean,
+				ShardImbalance: row.b.Imbalance,
+			})
+		}
+		logf.printf("serve/shard-balance/%s: lpt %.3f vs roundrobin %.3f (max/mean over %d shards)",
+			name, lpt.Imbalance, rr.Imbalance, shardBalanceWorkers)
+	}
+	return out, nil
+}
+
+// buildDefaultConfigs resolves the serving tier's default sweep into
+// arch configs for cost estimation.
+func buildDefaultConfigs() ([]arch.Config, error) {
+	specs := serve.DefaultConfigs()
+	cfgs := make([]arch.Config, len(specs))
+	for i, spec := range specs {
+		var err error
+		if cfgs[i], err = spec.Build(); err != nil {
+			return nil, fmt.Errorf("bench: shard-balance: configs[%d]: %w", i, err)
+		}
+	}
+	return cfgs, nil
 }
 
 // measureServe runs one load shape against a fresh server (fresh result

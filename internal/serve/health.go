@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bittactical/internal/metrics"
+)
+
+// Worker liveness for shard mode. Each worker carries a three-state
+// liveness machine:
+//
+//	unknown ──success──▶ up ◀──success── down
+//	   │                  │                ▲
+//	   └──── failures ────┴── ≥ threshold ─┘
+//
+// fed from two sides: a background prober GETs every worker's /healthz on
+// Config.HealthInterval, and the dispatch path reports every shard RPC
+// outcome. One failure makes a worker suspect (consecutive-failure count);
+// healthFailThreshold consecutive failures mark it down; any success snaps
+// it back up. Down workers are excluded from partitioning (dispatch falls
+// back to trying everyone when the whole fleet looks down — an optimistic
+// probe beats refusing service on possibly-stale state). Per-worker
+// serve_shard_worker_up_<i> gauges and the serve_shard_workers_up
+// aggregate export the machine's view.
+
+const (
+	workerUnknown int32 = iota
+	workerUp
+	workerDown
+)
+
+// healthFailThreshold is how many consecutive failures (probe or dispatch)
+// demote a worker to down. Two means a single lost RPC keeps the worker in
+// rotation — transient network hiccups should not drain the fleet — while
+// a dead process is out within two probe periods.
+const healthFailThreshold = 2
+
+// workerHealth is one worker's liveness state.
+type workerHealth struct {
+	base  string
+	state atomic.Int32 // workerUnknown | workerUp | workerDown
+	fails atomic.Int32 // consecutive failures since the last success
+}
+
+// fleetHealth owns the per-worker state machines and the probe loop.
+type fleetHealth struct {
+	workers  []*workerHealth
+	client   *http.Client
+	interval time.Duration
+
+	probes        *metrics.Counter
+	probeFailures *metrics.Counter
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// newFleetHealth builds the tracker and registers its gauges; the probe
+// loop starts only when interval > 0 (stop with close()).
+func newFleetHealth(workers []string, client *http.Client, interval time.Duration, reg *metrics.Registry) *fleetHealth {
+	fh := &fleetHealth{
+		client:        client,
+		interval:      interval,
+		probes:        reg.Counter("serve_shard_probes_total"),
+		probeFailures: reg.Counter("serve_shard_probe_failures_total"),
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
+	}
+	for i, base := range workers {
+		w := &workerHealth{base: base}
+		fh.workers = append(fh.workers, w)
+		reg.Func(fmt.Sprintf("serve_shard_worker_up_%d", i), func() int64 {
+			if w.state.Load() == workerDown {
+				return 0
+			}
+			return 1
+		})
+	}
+	reg.Func("serve_shard_workers_up", func() int64 {
+		var up int64
+		for _, w := range fh.workers {
+			if w.state.Load() != workerDown {
+				up++
+			}
+		}
+		return up
+	})
+	if interval > 0 {
+		go fh.run()
+	} else {
+		close(fh.done)
+	}
+	return fh
+}
+
+// run is the probe loop: every interval, probe the whole fleet
+// concurrently (a hung worker must not delay its peers' probes).
+func (fh *fleetHealth) run() {
+	defer close(fh.done)
+	t := time.NewTicker(fh.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-fh.stop:
+			return
+		case <-t.C:
+			fh.probeAll()
+		}
+	}
+}
+
+// probeAll probes every worker once and folds the outcomes into the state
+// machines. Exposed (package-internal) so tests can drive transitions
+// without waiting on the ticker.
+func (fh *fleetHealth) probeAll() {
+	var wg sync.WaitGroup
+	for i := range fh.workers {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fh.probes.Inc()
+			if fh.probe(fh.workers[i].base) {
+				fh.markSuccess(i)
+			} else {
+				fh.probeFailures.Inc()
+				fh.markFailure(i)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// probe GETs one worker's /healthz under a deadline bounded by the probe
+// period (minimum 1s so a tight test interval still tolerates scheduling
+// jitter).
+func (fh *fleetHealth) probe(base string) bool {
+	d := fh.interval
+	if d <= 0 || d < time.Second {
+		d = time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := fh.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// markSuccess snaps worker i up and clears its failure streak.
+func (fh *fleetHealth) markSuccess(i int) {
+	w := fh.workers[i]
+	w.fails.Store(0)
+	w.state.Store(workerUp)
+}
+
+// markFailure books one failure against worker i, demoting it to down at
+// the consecutive-failure threshold.
+func (fh *fleetHealth) markFailure(i int) {
+	w := fh.workers[i]
+	if w.fails.Add(1) >= healthFailThreshold {
+		w.state.Store(workerDown)
+	}
+}
+
+// dispatchable reports whether worker i should receive new work: anything
+// not known-down (unknown is optimistic — a fresh coordinator has no
+// evidence against anyone).
+func (fh *fleetHealth) dispatchable(i int) bool {
+	return fh.workers[i].state.Load() != workerDown
+}
+
+// close stops the probe loop and waits for it to exit. Idempotent.
+func (fh *fleetHealth) close() {
+	fh.stopOnce.Do(func() { close(fh.stop) })
+	<-fh.done
+}

@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bittactical/internal/metrics"
+)
+
+// TestFleetHealthTransitions drives the liveness state machine through
+// probeAll: unknown is dispatchable, one failure keeps a worker in rotation
+// (transient hiccups must not drain the fleet), the second consecutive
+// failure demotes it, and a single success snaps it back up.
+func TestFleetHealthTransitions(t *testing.T) {
+	var healthy atomic.Bool
+	healthy.Store(true)
+	worker := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if !healthy.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(worker.Close)
+
+	// interval 0: no background loop; the test drives probeAll directly.
+	fh := newFleetHealth([]string{worker.URL}, &http.Client{}, 0, metrics.NewRegistry())
+	t.Cleanup(fh.close)
+
+	if !fh.dispatchable(0) {
+		t.Fatal("fresh (unknown) worker is not dispatchable")
+	}
+	fh.probeAll()
+	if got := fh.workers[0].state.Load(); got != workerUp {
+		t.Fatalf("after healthy probe: state %d, want up", got)
+	}
+
+	healthy.Store(false)
+	fh.probeAll()
+	if !fh.dispatchable(0) {
+		t.Fatal("one failed probe drained the worker (threshold is 2)")
+	}
+	fh.probeAll()
+	if fh.dispatchable(0) {
+		t.Fatal("two consecutive failed probes did not demote the worker")
+	}
+
+	healthy.Store(true)
+	fh.probeAll()
+	if !fh.dispatchable(0) {
+		t.Fatal("a healthy probe did not recover the down worker")
+	}
+}
+
+// TestFleetHealthGauges: the coordinator's /metrics carries per-worker up
+// gauges, the aggregate, and probe counters that move with probeAll.
+func TestFleetHealthGauges(t *testing.T) {
+	up := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	t.Cleanup(up.Close)
+	down := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	t.Cleanup(down.Close)
+
+	reg := metrics.NewRegistry()
+	coord := New(Config{
+		MaxInFlight:    2,
+		DefaultTimeout: 30 * time.Second,
+		MaxTimeout:     time.Minute,
+		Workers:        []string{up.URL, down.URL},
+		Metrics:        reg,
+	})
+	t.Cleanup(coord.Close)
+	if coord.health == nil {
+		t.Fatal("coordinator mode did not build a fleet health tracker")
+	}
+	coord.health.probeAll()
+	coord.health.probeAll() // second failure demotes the down worker
+
+	rec := httptest.NewRecorder()
+	coord.Routes().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics = %d", rec.Code)
+	}
+	var snap map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{
+		"serve_shard_worker_up_0": "1",
+		"serve_shard_worker_up_1": "0",
+		"serve_shard_workers_up":  "1",
+	}
+	for name, val := range want {
+		got, ok := snap[name]
+		if !ok {
+			t.Errorf("/metrics missing %s", name)
+			continue
+		}
+		if string(got) != val {
+			t.Errorf("%s = %s, want %s", name, got, val)
+		}
+	}
+	var probes int64
+	if err := json.Unmarshal(snap["serve_shard_probes_total"], &probes); err != nil || probes != 4 {
+		t.Errorf("serve_shard_probes_total = %s, want 4 (2 workers x 2 rounds)", snap["serve_shard_probes_total"])
+	}
+	var fails int64
+	if err := json.Unmarshal(snap["serve_shard_probe_failures_total"], &fails); err != nil || fails != 2 {
+		t.Errorf("serve_shard_probe_failures_total = %s, want 2", snap["serve_shard_probe_failures_total"])
+	}
+}
+
+// TestDispatchFeedsHealth: shard RPC outcomes drive the same state machine
+// as probes — two failed requests against a dead worker demote it, and the
+// next request's partition routes around it (one round, no retry needed).
+func TestDispatchFeedsHealth(t *testing.T) {
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "worker on fire", http.StatusInternalServerError)
+	}))
+	t.Cleanup(broken.Close)
+	coord := newCoordinator(t, []string{goodWorker(t), broken.URL})
+	body := smallBody(`"configs":[{"backend":"dense"}]`)
+
+	for i := 0; i < 2; i++ {
+		// Distinct act seeds defeat the result cache so each request really
+		// dispatches.
+		b := smallBody(`"configs":[{"backend":"dense"}],"act_seed":` + string(rune('2'+i)))
+		if rec := postJSON(t, coord.Routes(), "/v1/simulate", b); rec.Code != http.StatusOK {
+			t.Fatalf("request %d = %d: %s", i, rec.Code, rec.Body.String())
+		}
+	}
+	if coord.health.dispatchable(1) {
+		t.Fatal("two failed dispatches did not demote the broken worker")
+	}
+	// With the broken worker down, the next sweep partitions over the
+	// survivor only — still byte-identical.
+	refJSON := referenceSweep(t, body)
+	rec := postJSON(t, coord.Routes(), "/v1/simulate", body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-demotion simulate = %d: %s", rec.Code, rec.Body.String())
+	}
+	var got SimulateResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, _ := json.Marshal(got.Configs)
+	if string(gotJSON) != refJSON {
+		t.Errorf("post-demotion payload differs from single-process")
+	}
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"bittactical/internal/nn"
+	"bittactical/internal/sim"
+)
+
+// TestPartitionLPTCoverageAndDeterminism: every layer lands in exactly one
+// shard, slices are sorted, and the packing is a pure function of its
+// inputs.
+func TestPartitionLPTCoverageAndDeterminism(t *testing.T) {
+	layers := []int{0, 1, 2, 3, 4, 5, 6}
+	costs := []int64{100, 7, 3, 90, 1, 5, 2}
+	for _, n := range []int{1, 2, 3, 7, 9} {
+		a := PartitionLPT(layers, costs, n)
+		b := PartitionLPT(layers, costs, n)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("n=%d: LPT is not deterministic: %v vs %v", n, a, b)
+		}
+		if len(a) != n {
+			t.Fatalf("n=%d: %d slices", n, len(a))
+		}
+		var flat []int
+		for _, sl := range a {
+			if !sort.IntsAreSorted(sl) {
+				t.Errorf("n=%d: slice %v not sorted", n, sl)
+			}
+			flat = append(flat, sl...)
+		}
+		sort.Ints(flat)
+		if !reflect.DeepEqual(flat, layers) {
+			t.Errorf("n=%d: coverage %v != %v", n, flat, layers)
+		}
+	}
+}
+
+// TestPartitionLPTBeatsRoundRobinSynthetic: on a cost vector with one
+// dominant entry (the conv1 shape), LPT isolates the heavy layer while
+// round-robin stacks extra work on its shard.
+func TestPartitionLPTBeatsRoundRobinSynthetic(t *testing.T) {
+	layers := allLayers(8)
+	costs := []int64{1000, 10, 10, 10, 10, 10, 10, 10}
+	lpt := BalanceOf(PartitionLPT(layers, costs, 4), costs)
+	rr := BalanceOf(PartitionRoundRobin(layers, 4), costs)
+	if lpt.Imbalance > rr.Imbalance {
+		t.Errorf("LPT imbalance %.3f > round-robin %.3f", lpt.Imbalance, rr.Imbalance)
+	}
+	// Round-robin gives worker 0 the dominant layer PLUS layer 4; LPT gives
+	// it the dominant layer alone.
+	if lpt.Max >= rr.Max {
+		t.Errorf("LPT max %.0f >= round-robin max %.0f on a dominant-layer vector", lpt.Max, rr.Max)
+	}
+}
+
+// TestPartitionLPTBeatsRoundRobinOnZooModel: the real thing — predicted
+// sweep costs for a conv1-heavy zoo model, LPT's imbalance must not exceed
+// round-robin's. This is the in-process twin of the BENCH_serve
+// shard-balance gate.
+func TestPartitionLPTBeatsRoundRobinOnZooModel(t *testing.T) {
+	z := nn.DefaultZoo()
+	z.ChannelScale, z.SpatialScale = 0.1, 0.25
+	m, err := nn.BuildModel("AlexNet-ES", z)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs, err := buildConfigs(DefaultConfigs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	costs, err := sim.EstimateSweepLayerCosts(cfgs, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layers := allLayers(len(m.Layers))
+	for _, n := range []int{2, 3, 4} {
+		lpt := BalanceOf(PartitionLPT(layers, costs, n), costs)
+		rr := BalanceOf(PartitionRoundRobin(layers, n), costs)
+		if lpt.Imbalance > rr.Imbalance {
+			t.Errorf("%d workers: LPT imbalance %.3f > round-robin %.3f", n, lpt.Imbalance, rr.Imbalance)
+		}
+		if lpt.Imbalance < 1 || rr.Imbalance < 1 {
+			t.Errorf("%d workers: imbalance below 1 (lpt %.3f, rr %.3f) — Max/Mean is broken", n, lpt.Imbalance, rr.Imbalance)
+		}
+	}
+}
+
+// TestPartitionUnitCostFallback: nil costs degrade LPT to a balanced count
+// split — no shard carries more than ceil(n/w) layers.
+func TestPartitionUnitCostFallback(t *testing.T) {
+	layers := allLayers(10)
+	slices := PartitionLPT(layers, nil, 3)
+	for w, sl := range slices {
+		if len(sl) > 4 {
+			t.Errorf("worker %d drew %d of 10 layers under unit costs", w, len(sl))
+		}
+	}
+	b := BalanceOf(slices, nil)
+	if b.Imbalance > 1.2+1e-9 {
+		t.Errorf("unit-cost imbalance %.3f, want near 1 (4/3.33 max)", b.Imbalance)
+	}
+}
+
+// TestBalanceOfCountsIdleShards: an empty shard is an idle worker the fleet
+// paid for — it must drag the mean down (raising imbalance), or a
+// degenerate everything-on-one-worker partition would score a perfect 1.0.
+func TestBalanceOfCountsIdleShards(t *testing.T) {
+	costs := []int64{5, 5}
+	degenerate := [][]int{{0, 1}, {}}
+	b := BalanceOf(degenerate, costs)
+	if b.Imbalance != 2 {
+		t.Errorf("degenerate partition imbalance = %.3f, want 2.0", b.Imbalance)
+	}
+}

@@ -19,6 +19,15 @@ import (
 // document.
 const maxBodyBytes = 1 << 20
 
+// Shard-mode resilience defaults: a Config.ShardRetries of 0 means
+// defaultShardRetries re-dispatch rounds (negative disables retry), and a
+// Config.ShardBackoff of 0 means defaultShardBackoff before the first
+// retry round (doubling per round; negative disables the pause).
+const (
+	defaultShardRetries = 2
+	defaultShardBackoff = 50 * time.Millisecond
+)
+
 // Config tunes one Server.
 type Config struct {
 	// MaxInFlight bounds concurrent evaluation requests (each sweep
@@ -46,6 +55,23 @@ type Config struct {
 	// client with no overall timeout (the request context bounds each
 	// call).
 	Client *http.Client
+	// ShardRetries bounds the coordinator's re-dispatch rounds after the
+	// first: a failed worker's layer slice is re-partitioned over the
+	// survivors up to this many times before the request fails. 0 means
+	// defaultShardRetries; negative disables failover entirely.
+	ShardRetries int
+	// ShardBackoff is the pause before the first re-dispatch round,
+	// doubling each round. 0 means defaultShardBackoff; negative disables
+	// the pause.
+	ShardBackoff time.Duration
+	// HealthInterval is the period of the coordinator's background
+	// /healthz probes of the worker fleet; 0 or negative disables the
+	// probe loop (dispatch outcomes still feed the liveness state).
+	HealthInterval time.Duration
+	// Partition picks the layer-partitioning strategy: "lpt" (default,
+	// cost-balanced bin packing on predicted serial cycles) or
+	// "roundrobin".
+	Partition string
 	// Metrics receives the server's instruments; nil means
 	// metrics.Default.
 	Metrics *metrics.Registry
@@ -59,16 +85,19 @@ type Server struct {
 	sem    chan struct{}
 	cache  *ResultCache
 	client *http.Client
+	health *fleetHealth // nil outside coordinator mode
 
-	requests        *metrics.Counter
-	rejected        *metrics.Counter
-	failures        *metrics.Counter
-	timeouts        *metrics.Counter
-	inflight        *metrics.Gauge
-	latency         *metrics.Histogram
-	shardRequests   *metrics.Counter
-	shardDispatches *metrics.Counter
-	shardFailures   *metrics.Counter
+	requests            *metrics.Counter
+	rejected            *metrics.Counter
+	failures            *metrics.Counter
+	timeouts            *metrics.Counter
+	inflight            *metrics.Gauge
+	latency             *metrics.Histogram
+	shardRequests       *metrics.Counter
+	shardDispatches     *metrics.Counter
+	shardFailures       *metrics.Counter
+	shardRetryRounds    *metrics.Counter
+	shardFailoverLayers *metrics.Counter
 }
 
 // New builds a Server; zero Config fields get the documented defaults.
@@ -91,26 +120,39 @@ func New(cfg Config) *Server {
 		client = &http.Client{}
 	}
 	s := &Server{
-		cfg:             cfg,
-		sem:             make(chan struct{}, cfg.MaxInFlight),
-		cache:           NewResultCache(cfg.CacheBudget),
-		client:          client,
-		requests:        reg.Counter("serve_requests_total"),
-		rejected:        reg.Counter("serve_requests_rejected_total"),
-		failures:        reg.Counter("serve_requests_failed_total"),
-		timeouts:        reg.Counter("serve_requests_timeout_total"),
-		inflight:        reg.Gauge("serve_inflight_requests"),
-		latency:         reg.Histogram("serve_request_latency"),
-		shardRequests:   reg.Counter("serve_shard_requests_total"),
-		shardDispatches: reg.Counter("serve_shard_dispatch_total"),
-		shardFailures:   reg.Counter("serve_shard_failures_total"),
+		cfg:                 cfg,
+		sem:                 make(chan struct{}, cfg.MaxInFlight),
+		cache:               NewResultCache(cfg.CacheBudget),
+		client:              client,
+		requests:            reg.Counter("serve_requests_total"),
+		rejected:            reg.Counter("serve_requests_rejected_total"),
+		failures:            reg.Counter("serve_requests_failed_total"),
+		timeouts:            reg.Counter("serve_requests_timeout_total"),
+		inflight:            reg.Gauge("serve_inflight_requests"),
+		latency:             reg.Histogram("serve_request_latency"),
+		shardRequests:       reg.Counter("serve_shard_requests_total"),
+		shardDispatches:     reg.Counter("serve_shard_dispatch_total"),
+		shardFailures:       reg.Counter("serve_shard_failures_total"),
+		shardRetryRounds:    reg.Counter("serve_shard_retry_rounds_total"),
+		shardFailoverLayers: reg.Counter("serve_shard_failover_layers_total"),
 	}
 	s.cache.RegisterMetrics(reg, "serve")
+	if len(cfg.Workers) > 0 {
+		s.health = newFleetHealth(cfg.Workers, client, cfg.HealthInterval, reg)
+	}
 	return s
 }
 
 // Cache exposes the finished-result cache (stats for tests and tools).
 func (s *Server) Cache() *ResultCache { return s.cache }
+
+// Close stops the coordinator's background health prober (a no-op outside
+// coordinator mode). Idempotent.
+func (s *Server) Close() {
+	if s.health != nil {
+		s.health.close()
+	}
+}
 
 // Routes wires the service surface: the evaluation endpoints behind the
 // in-flight limiter, plus the probes.
@@ -235,7 +277,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			emit = st.layer
 		}
 		if len(s.cfg.Workers) > 0 {
-			grid, wnames, err := s.dispatchShards(ctx, req, len(m.Layers), emit)
+			grid, wnames, err := s.dispatchShards(ctx, req, m, cfgs, emit)
 			if err != nil {
 				return nil, err
 			}
@@ -467,6 +509,7 @@ func (s *Server) countEngineError(err error) {
 // abandoned, 502 for a shard worker failure.
 func (s *Server) writeEngineError(w http.ResponseWriter, err error) {
 	var se *shardError
+	var fm *fleetMismatchError
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
 		s.timeouts.Inc()
@@ -478,6 +521,9 @@ func (s *Server) writeEngineError(w http.ResponseWriter, err error) {
 	case errors.As(err, &se):
 		s.failures.Inc()
 		writeError(w, http.StatusBadGateway, se.Error())
+	case errors.As(err, &fm):
+		s.failures.Inc()
+		writeError(w, http.StatusBadGateway, fm.Error())
 	default:
 		s.failures.Inc()
 		writeError(w, http.StatusInternalServerError, err.Error())

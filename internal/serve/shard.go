@@ -7,21 +7,34 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
+	"strings"
 	"sync"
 	"time"
+
+	"bittactical/internal/arch"
+	"bittactical/internal/nn"
+	"bittactical/internal/sim"
 )
 
 // Shard mode spreads one sweep's (config, layer) grid across worker
 // processes: a coordinator (tclserve -workers url,url,…) partitions the
-// model's layers round-robin over the workers, each worker simulates its
+// model's layers over the workers — by LPT bin packing on predicted serial
+// cycles (sim.EstimateSweepLayerCosts), so the conv1-class layers that
+// dominate cost do not pile onto one shard — each worker simulates its
 // layer slice for every config (POST /v1/shard → sim.SimulateGridContext),
 // and the coordinator reassembles cells in fixed (config, layer) order.
 //
 // The merge is deterministic and bit-identical to single-process output at
-// any worker count for the same reason the in-process pool is: a layer's
-// result depends only on its own filter groups, every cell is an integer
-// census, and the reassembly (and the totals summed from it) touches cells
-// in the same fixed order however they were computed.
+// any worker count AND any partition for the same reason the in-process
+// pool is: a layer's result depends only on its own filter groups, every
+// cell is an integer census, and the reassembly (and the totals summed from
+// it) touches cells in the same fixed order however they were computed.
+// Failover preserves the property: a failed worker's layers are
+// re-dispatched to surviving workers (already-landed cells are reused, a
+// layer is never computed twice), and since every cell is
+// partition-independent, a sweep that survives a mid-run worker death is
+// byte-identical to one that never saw the failure.
 
 // ShardRequest is the body of POST /v1/shard — the coordinator-to-worker
 // leg. Layers indexes the model's layer list; the response carries cell
@@ -57,110 +70,284 @@ func (e *shardError) Error() string {
 
 func (e *shardError) Unwrap() error { return e.err }
 
-// dispatchShards fans the request's layer grid out over s.cfg.Workers and
-// reassembles the full [config][layer] grid. emit, when non-nil, observes
-// each worker's cells as that worker's response lands (the shard analog of
-// the engine's OnLayerResult).
-func (s *Server) dispatchShards(ctx context.Context, req SimulateRequest, nLayers int, emit func(cfg, layer int, lp LayerPayload)) ([][]LayerPayload, []string, error) {
-	workers := s.cfg.Workers
-	// Round-robin layer partition: layer li goes to worker li % W. Slices
-	// stay in increasing layer order, so cell i of worker w is layer
-	// w + i*W.
-	slices := make([][]int, len(workers))
-	for li := 0; li < nLayers; li++ {
-		w := li % len(workers)
-		slices[w] = append(slices[w], li)
+// fleetMismatchError marks a cross-worker config divergence: a worker
+// resolved the sweep's configs to different names than the coordinator.
+// Unlike a transport failure this is NOT retryable — the fleet is
+// inconsistent (version skew, divergent back-end registries) and any merge
+// would silently mix grids from different designs — so the dispatch loop
+// cancels every sibling RPC and fails the request immediately.
+type fleetMismatchError struct {
+	worker string
+	detail string
+}
+
+func (e *fleetMismatchError) Error() string {
+	return fmt.Sprintf("shard worker %s: config mismatch: %s", e.worker, e.detail)
+}
+
+// validateShardResponse checks a worker reply's shape BEFORE any cell is
+// merged or emitted: resolved config names elementwise against the
+// coordinator's own resolution, then the full Cells rectangle. A malformed
+// reply (short rows, wrong counts) is a retryable worker failure; a
+// config-name divergence is a fleetMismatchError. Nothing downstream may
+// index resp.Cells until this returns nil.
+func validateShardResponse(resp *ShardResponse, worker string, names []string, sliceLen int) error {
+	if len(resp.Configs) != len(names) {
+		return &shardError{worker: worker, err: fmt.Errorf("resolved %d configs, coordinator resolved %d", len(resp.Configs), len(names))}
 	}
-	timeoutMs := int64(0)
-	if dl, ok := ctx.Deadline(); ok {
-		timeoutMs = int64(time.Until(dl) / time.Millisecond)
-		if timeoutMs < 1 {
-			timeoutMs = 1
+	for k, name := range resp.Configs {
+		if name != names[k] {
+			return &fleetMismatchError{worker: worker, detail: fmt.Sprintf("config %d resolved to %q, coordinator resolved %q", k, name, names[k])}
 		}
+	}
+	if len(resp.Cells) != len(names) {
+		return &shardError{worker: worker, err: fmt.Errorf("returned %d cell rows for %d configs", len(resp.Cells), len(names))}
+	}
+	for k := range resp.Cells {
+		if len(resp.Cells[k]) != sliceLen {
+			return &shardError{worker: worker, err: fmt.Errorf("returned %d cells for %d layers", len(resp.Cells[k]), sliceLen)}
+		}
+	}
+	return nil
+}
+
+// partitionShards splits the pending layers over the candidate workers
+// according to the configured strategy.
+func (s *Server) partitionShards(layers []int, costs []int64, nWorkers int) [][]int {
+	switch strings.ToLower(s.cfg.Partition) {
+	case "roundrobin", "rr":
+		return PartitionRoundRobin(layers, nWorkers)
+	default: // "", "lpt"
+		return PartitionLPT(layers, costs, nWorkers)
+	}
+}
+
+// dispatchShards fans the request's layer grid out over s.cfg.Workers with
+// retry/failover and reassembles the full [config][layer] grid. emit, when
+// non-nil, observes each landed cell exactly once, outside the coordinator
+// lock, as its worker's response lands (the shard analog of the engine's
+// OnLayerResult).
+//
+// The dispatch is a bounded round loop: each round partitions the
+// still-pending layers over the workers currently believed alive (LPT on
+// predicted cost), fires the slices concurrently, folds successful
+// responses into the grid, and carries failed workers' slices into the
+// next round — landed cells are never recomputed. A worker that fails is
+// excluded for the rest of the request and reported to the health tracker.
+// Unrecoverable conditions (config mismatch, expired request context, no
+// surviving workers) cancel every sibling RPC immediately instead of
+// letting them simulate to completion for a doomed request.
+func (s *Server) dispatchShards(ctx context.Context, req SimulateRequest, m *nn.Model, cfgs []arch.Config, emit func(cfg, layer int, lp LayerPayload)) ([][]LayerPayload, []string, error) {
+	workers := s.cfg.Workers
+	nLayers := len(m.Layers)
+	names := make([]string, len(cfgs))
+	for k := range cfgs {
+		names[k] = cfgs[k].Name
+	}
+	grid := make([][]LayerPayload, len(cfgs))
+	for k := range grid {
+		grid[k] = make([]LayerPayload, nLayers)
+	}
+	if nLayers == 0 {
+		return grid, names, nil
+	}
+	// Cost-keyed partitioning; estimation failure (a layer geometry the
+	// estimator cannot lower) degrades to unit costs, never to a request
+	// error — partition quality is a performance concern, not correctness.
+	costs, err := sim.EstimateSweepLayerCosts(cfgs, m)
+	if err != nil {
+		costs = nil
+	}
+	// Workers require explicit configs (handleShard rejects an empty list),
+	// so a default-sweep request is spelled out before dispatch.
+	specs := req.Configs
+	if len(specs) == 0 {
+		specs = DefaultConfigs()
 	}
 
 	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-		results  = make([]*ShardResponse, len(workers))
+		mu       sync.Mutex // guards grid writes, pending bookkeeping, lastErr
+		lastErr  error
+		excluded = make([]bool, len(workers)) // failed during THIS request
+		pending  = allLayers(nLayers)
 	)
-	for w, base := range workers {
-		if len(slices[w]) == 0 {
-			continue
-		}
-		sreq := ShardRequest{
-			ModelSpec:   req.ModelSpec,
-			Configs:     req.Configs,
-			Layers:      slices[w],
-			Parallelism: req.Parallelism,
-			TimeoutMs:   timeoutMs,
-		}
-		wg.Add(1)
-		go func(w int, base string) {
-			defer wg.Done()
-			s.shardDispatches.Inc()
-			resp, err := s.postShard(ctx, base, sreq)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				s.shardFailures.Inc()
-				if firstErr == nil {
-					firstErr = &shardError{worker: base, err: err}
-				}
-				return
+	maxRounds := 1 + s.shardRetries()
+	for round := 0; round < maxRounds && len(pending) > 0; round++ {
+		if round > 0 {
+			s.shardRetryRounds.Inc()
+			s.shardFailoverLayers.Add(int64(len(pending)))
+			if err := s.shardBackoffWait(ctx, round); err != nil {
+				return nil, nil, err
 			}
-			results[w] = resp
-			if emit != nil {
-				for k := range resp.Cells {
-					for i, li := range slices[w] {
-						emit(k, li, resp.Cells[k][i])
-					}
+		}
+		// Candidate workers: not failed this request, not known-down. When
+		// health says the whole fleet is down, optimistically try everyone
+		// not already excluded — the tracker may be stale, and a probe-by
+		// -dispatch beats refusing service.
+		var cand []int
+		for w := range workers {
+			if !excluded[w] && (s.health == nil || s.health.dispatchable(w)) {
+				cand = append(cand, w)
+			}
+		}
+		if len(cand) == 0 {
+			for w := range workers {
+				if !excluded[w] {
+					cand = append(cand, w)
 				}
 			}
-		}(w, base)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, nil, firstErr
-	}
+		}
+		if len(cand) == 0 {
+			break // every worker has failed this request
+		}
 
-	// Reassemble in fixed (config, layer) order and cross-check the workers
-	// resolved the same configs.
-	var names []string
-	nConfigs := 0
-	for w, resp := range results {
-		if resp == nil {
-			continue
-		}
-		if names == nil {
-			names = resp.Configs
-			nConfigs = len(resp.Configs)
-		} else if len(resp.Configs) != nConfigs {
-			return nil, nil, &shardError{worker: workers[w], err: fmt.Errorf("resolved %d configs, coordinator peer resolved %d", len(resp.Configs), nConfigs)}
-		}
-		if len(resp.Cells) != nConfigs {
-			return nil, nil, &shardError{worker: workers[w], err: fmt.Errorf("returned %d cell rows for %d configs", len(resp.Cells), nConfigs)}
-		}
-		for k := range resp.Cells {
-			if len(resp.Cells[k]) != len(slices[w]) {
-				return nil, nil, &shardError{worker: workers[w], err: fmt.Errorf("returned %d cells for %d layers", len(resp.Cells[k]), len(slices[w]))}
+		slices := s.partitionShards(pending, costs, len(cand))
+		timeoutMs := int64(0)
+		if dl, ok := ctx.Deadline(); ok {
+			timeoutMs = int64(time.Until(dl) / time.Millisecond)
+			if timeoutMs < 1 {
+				timeoutMs = 1
 			}
 		}
-	}
-	grid := make([][]LayerPayload, nConfigs)
-	for k := range grid {
-		grid[k] = make([]LayerPayload, nLayers)
-		for w := range results {
-			if results[w] == nil {
+		rctx, rcancel := context.WithCancel(ctx)
+		var (
+			wg          sync.WaitGroup
+			nextPending []int
+			fatal       error
+			remaining   = len(workers) // workers not yet excluded, fleet-wide
+		)
+		for w := range workers {
+			if excluded[w] {
+				remaining--
+			}
+		}
+		for ci, w := range cand {
+			slice := slices[ci]
+			if len(slice) == 0 {
 				continue
 			}
-			for i, li := range slices[w] {
-				grid[k][li] = results[w].Cells[k][i]
+			sreq := ShardRequest{
+				ModelSpec:   req.ModelSpec,
+				Configs:     specs,
+				Layers:      slice,
+				Parallelism: req.Parallelism,
+				TimeoutMs:   timeoutMs,
 			}
+			wg.Add(1)
+			go func(w int, base string, slice []int) {
+				defer wg.Done()
+				s.shardDispatches.Inc()
+				resp, err := s.postShard(rctx, base, sreq)
+				if err == nil {
+					err = validateShardResponse(resp, base, names, len(slice))
+				}
+				if err != nil {
+					s.shardFailures.Inc()
+					// Blame the worker only when the round was still live: an
+					// RPC aborted by the request deadline or a sibling's
+					// cancel says nothing about this worker's health.
+					roundLive := rctx.Err() == nil
+					if roundLive && s.health != nil {
+						s.health.markFailure(w)
+					}
+					mu.Lock()
+					if mm, ok := err.(*fleetMismatchError); ok {
+						if fatal == nil {
+							fatal = mm
+						}
+						mu.Unlock()
+						rcancel() // satellite: cancel siblings, don't wg.Wait them out
+						return
+					}
+					if roundLive || lastErr == nil {
+						lastErr = &shardError{worker: base, err: err}
+					}
+					if roundLive {
+						excluded[w] = true
+						remaining--
+					}
+					doomed := remaining == 0
+					nextPending = append(nextPending, slice...)
+					mu.Unlock()
+					if doomed {
+						// No worker left to fail over to: the request cannot
+						// succeed, so stop the siblings' simulations now.
+						rcancel()
+					}
+					return
+				}
+				if s.health != nil {
+					s.health.markSuccess(w)
+				}
+				// Merge under the lock, emit outside it: one slow NDJSON
+				// client must not stall every other worker's merge.
+				mu.Lock()
+				for i, li := range slice {
+					for k := range grid {
+						grid[k][li] = resp.Cells[k][i]
+					}
+				}
+				mu.Unlock()
+				if emit != nil {
+					for k := range resp.Cells {
+						for i, li := range slice {
+							emit(k, li, resp.Cells[k][i])
+						}
+					}
+				}
+			}(w, workers[w], slice)
 		}
+		wg.Wait()
+		rcancel()
+		if fatal != nil {
+			return nil, nil, fatal
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		sort.Ints(nextPending)
+		pending = nextPending
+	}
+	if len(pending) > 0 {
+		if lastErr == nil {
+			lastErr = &shardError{worker: "(fleet)", err: fmt.Errorf("%d layers undispatched after %d rounds", len(pending), maxRounds)}
+		}
+		return nil, nil, lastErr
 	}
 	return grid, names, nil
+}
+
+// shardRetries resolves the configured re-dispatch round budget.
+func (s *Server) shardRetries() int {
+	switch {
+	case s.cfg.ShardRetries < 0:
+		return 0
+	case s.cfg.ShardRetries == 0:
+		return defaultShardRetries
+	default:
+		return s.cfg.ShardRetries
+	}
+}
+
+// shardBackoffWait pauses before re-dispatch round `round` (1-based),
+// doubling the configured base per round, honoring ctx.
+func (s *Server) shardBackoffWait(ctx context.Context, round int) error {
+	d := s.cfg.ShardBackoff
+	if d == 0 {
+		d = defaultShardBackoff
+	}
+	if d < 0 {
+		return ctx.Err()
+	}
+	d <<= uint(round - 1)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // postShard runs one coordinator-to-worker call.
