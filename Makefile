@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check lint-backend serve-smoke shard-smoke bench bench-gate bench-sim bench-sched bench-kernel bench-serve fuzz-sched fuzz-kernel fmt clean
+.PHONY: all build vet test race check lint-backend serve-smoke shard-smoke bench bench-gate bench-contention cache-stress bench-sim bench-sched bench-kernel bench-serve fuzz-sched fuzz-kernel fmt clean
 
 all: check
 
@@ -30,6 +30,20 @@ check: build vet lint-backend race bench-gate
 THRESHOLD ?= 0.10
 bench-gate:
 	$(GO) run ./cmd/tclbench -compare -threshold $(THRESHOLD)
+
+# Contention profile: run the fig8a sweep at parallelism 1, 2, 4 and 8 with
+# mutex profiling at full fraction and print the top contended stacks —
+# where the striped schedule cache, plane cache, and worker pool actually
+# make workers wait. Diagnostic, not a gate.
+bench-contention:
+	$(GO) run ./cmd/tclbench -contention
+
+# Hammer the shared caches: the striped schedule cache and plane cache
+# stress tests under the race detector, three times over, with the
+# eviction-accounting invariants checked across stripes.
+cache-stress:
+	$(GO) test -race -count=3 ./internal/sched -run 'TestCache|TestKeyer|TestScheduleGroups'
+	$(GO) test -race -count=3 ./internal/sim -run 'TestPlaneCache'
 
 # Guard the back-end seam: all serial-cost semantics live behind the
 # internal/backend registry. Any switch arm on a back-end kind outside that

@@ -147,7 +147,7 @@ func TestEmitBenchSim(t *testing.T) {
 	if os.Getenv("TCL_BENCH_SIM") == "" {
 		t.Skip("set TCL_BENCH_SIM=1 to regenerate BENCH_sim.json")
 	}
-	f, err := bench.RunSim(t.Logf)
+	f, err := bench.RunSim(t.Logf, bench.RunOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +167,7 @@ func TestEmitBenchServe(t *testing.T) {
 	if os.Getenv("TCL_BENCH_SERVE") == "" {
 		t.Skip("set TCL_BENCH_SERVE=1 to regenerate BENCH_serve.json")
 	}
-	f, err := bench.RunServe(t.Logf)
+	f, err := bench.RunServe(t.Logf, bench.RunOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}

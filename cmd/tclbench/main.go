@@ -25,10 +25,17 @@
 //
 //	tclbench -promote /path/to/artifact/dir
 //
+// Contention profile (where do parallel sweeps wait?):
+//
+//	tclbench -contention             # fig8a at parallelism 1,2,4,8, top mutex stacks
+//
 // Comparison policy (internal/bench): allocs/op gates on every host — a
 // zero-alloc baseline must stay zero — while ns/op gates only between
-// non-contended runs at equal GOMAXPROCS. Baseline rows missing from the
-// current run fail the gate too.
+// non-contended runs at equal GOMAXPROCS. The sim suite measures steady
+// state (one warmup iteration, then a GC-pinned window of at least
+// -mintime) and its parallel rows carry alloc_parity — parallel allocs/op
+// over serial — gated everywhere against the absolute 1.05 cap. Baseline
+// rows missing from the current run fail the gate too.
 package main
 
 import (
@@ -49,26 +56,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("tclbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		emit      = fs.String("emit", "", "regenerate baselines: kernel, sched, sim, serve, or all")
-		compare   = fs.Bool("compare", false, "measure and compare against committed baselines; exit 1 on regression")
-		suite     = fs.String("suite", "", "restrict to one suite (kernel, sched, sim, serve)")
-		threshold = fs.Float64("threshold", 0.10, "fractional regression threshold")
-		force     = fs.Bool("force", false, "overwrite a baseline even with contended measurements")
-		ids       = fs.String("ids", "", "comma-separated ID prefixes; only matching baseline rows are compared")
-		dir       = fs.String("dir", ".", "directory holding the committed BENCH_*.json baselines")
-		current   = fs.String("current", "", "compare pre-recorded BENCH_*.json from this directory instead of measuring")
-		promote   = fs.String("promote", "", "adopt validated multi-core baselines from this directory into -dir")
+		emit       = fs.String("emit", "", "regenerate baselines: kernel, sched, sim, serve, or all")
+		compare    = fs.Bool("compare", false, "measure and compare against committed baselines; exit 1 on regression")
+		suite      = fs.String("suite", "", "restrict to one suite (kernel, sched, sim, serve)")
+		threshold  = fs.Float64("threshold", 0.10, "fractional regression threshold")
+		force      = fs.Bool("force", false, "overwrite a baseline even with contended measurements")
+		ids        = fs.String("ids", "", "comma-separated ID prefixes; only matching baseline rows are compared")
+		dir        = fs.String("dir", ".", "directory holding the committed BENCH_*.json baselines")
+		current    = fs.String("current", "", "compare pre-recorded BENCH_*.json from this directory instead of measuring")
+		promote    = fs.String("promote", "", "adopt validated multi-core baselines from this directory into -dir")
+		minTime    = fs.Duration("mintime", 0, "minimum measured wall time per steady-state benchmark row (default 1s)")
+		contention = fs.Bool("contention", false, "profile mutex contention: fig8a at parallelism 1,2,4,8 with full mutex profiling, top contended stacks to stdout")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *emit == "" && !*compare && *promote == "" {
-		fmt.Fprintln(stderr, "tclbench: nothing to do; pass -emit <suite|all>, -compare, or -promote <dir>")
+	if *emit == "" && !*compare && *promote == "" && !*contention {
+		fmt.Fprintln(stderr, "tclbench: nothing to do; pass -emit <suite|all>, -compare, -promote <dir>, or -contention")
 		fs.Usage()
 		return 2
 	}
 
 	logf := func(format string, a ...any) { fmt.Fprintf(stdout, format+"\n", a...) }
+	runOpts := bench.RunOpts{MinTime: *minTime}
+
+	if *contention {
+		if err := bench.RunContention(logf, stdout); err != nil {
+			fmt.Fprintf(stderr, "tclbench: contention: %v\n", err)
+			return 2
+		}
+		return 0
+	}
 
 	if *promote != "" {
 		return promoteBaselines(*promote, *dir, *suite, logf, stderr)
@@ -81,7 +99,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 2
 			}
 			logf("== emit %s ==", s.Name)
-			f, err := s.Run(logf)
+			f, err := s.Run(logf, runOpts)
 			if err != nil {
 				fmt.Fprintf(stderr, "tclbench: %s: %v\n", s.Name, err)
 				return 2
@@ -121,7 +139,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			cur, err = bench.Load(filepath.Join(*current, s.File))
 		} else {
 			logf("== measure %s ==", s.Name)
-			cur, err = s.Run(logf)
+			cur, err = s.Run(logf, runOpts)
 		}
 		if err != nil {
 			fmt.Fprintf(stderr, "tclbench: current %s: %v\n", s.Name, err)
@@ -135,7 +153,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		// never retried; offline (-current) runs are never re-measured.
 		if *current == "" && res.Fail() && len(res.Missing) == 0 && nsOnly(res) {
 			logf("== %s: ns/op over threshold, re-measuring to rule out noise ==", s.Name)
-			again, err := s.Run(logf)
+			again, err := s.Run(logf, runOpts)
 			if err != nil {
 				fmt.Fprintf(stderr, "tclbench: current %s: %v\n", s.Name, err)
 				return 2
@@ -150,7 +168,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "FAIL %s: %s missing from current run\n", s.Name, id)
 		}
 		for _, r := range res.Regressions {
-			fmt.Fprintf(stderr, "FAIL %s: %s exceeds threshold %.0f%%\n", s.Name, r, *threshold*100)
+			if r.Metric == "alloc_parity" {
+				fmt.Fprintf(stderr, "FAIL %s: %s exceeds the absolute cap %.2f\n", s.Name, r, bench.AllocParityCap)
+			} else {
+				fmt.Fprintf(stderr, "FAIL %s: %s exceeds threshold %.0f%%\n", s.Name, r, *threshold*100)
+			}
 		}
 		if res.Fail() {
 			fail = true

@@ -39,8 +39,8 @@ func main() {
 		sscale   = flag.Float64("spatial-scale", 0.25, "zoo spatial scale (0 = server default)")
 		backends = flag.String("configs", "tcle:T8<2,5>",
 			"comma-separated backend[:pattern] config list (empty = server default sweep)")
-		stream  = flag.Bool("stream", false, "request NDJSON streaming responses")
-		unique  = flag.Bool("unique", false, "rotate act_seed per request (defeat coalescing and the result cache)")
+		stream    = flag.Bool("stream", false, "request NDJSON streaming responses")
+		unique    = flag.Bool("unique", false, "rotate act_seed per request (defeat coalescing and the result cache)")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-request server deadline")
 		waitReady = flag.Duration("wait-ready", 0,
 			"poll the server's /healthz for up to this long before driving (0 = no wait)")

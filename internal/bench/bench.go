@@ -15,6 +15,13 @@
 //   - coalesce_hit_rate compares everywhere: the fraction of requests
 //     served without their own engine run is a property of the serving
 //     logic and load shape, not the host, so a drop fails the gate.
+//   - alloc_parity compares everywhere against an absolute cap: a parallel
+//     row's steady-state allocs/op must stay within AllocParityCap of its
+//     suite's serial row, once the absolute excess clears AllocParityFloor
+//     (the runtime's own O(workers) scheduler noise on a tiny base).
+//     Allocation counts are host-independent, so a parallel path that
+//     starts allocating per worker fails on any machine, threshold
+//     notwithstanding.
 //
 // Baselines additionally refuse to be overwritten by a contended run
 // (requested parallelism above the host's GOMAXPROCS) unless forced:
@@ -30,7 +37,10 @@ import (
 )
 
 // Schema identifies the baseline layout; bump when Record changes shape.
-const Schema = 4
+// Schema 5 added the steady-state measurement fields (warmup_iterations,
+// alloc_parity) and switched the sim suite from cold per-iteration cache
+// rebuilds to warm steady-state measurement.
+const Schema = 5
 
 // Record is one benchmark measurement.
 type Record struct {
@@ -50,6 +60,17 @@ type Record struct {
 	WallNs     int64 `json:"wall_ns"`
 	CPUNs      int64 `json:"cpu_ns"`
 	Iterations int   `json:"iterations"`
+	// WarmupIterations is how many unmeasured iterations ran before the
+	// measured window (steady-state suites; 0 = cold measurement). The
+	// warmup pays the one-time costs — cache fills, arena growth, pool
+	// warming — so Iterations and the per-op metrics describe pure steady
+	// state.
+	WarmupIterations int `json:"warmup_iterations,omitempty"`
+	// AllocParity is this parallel row's steady-state allocs/op divided by
+	// its suite's serial (j1) row — 1.0 means parallelism adds no
+	// allocations. Emitted only on parallel rows whose serial sibling
+	// allocated at all; gated everywhere against AllocParityCap.
+	AllocParity float64 `json:"alloc_parity,omitempty"`
 	// Speedup is ns/op of the suite's serial row over this row, emitted
 	// only when the host could actually run workers concurrently.
 	Speedup float64 `json:"speedup_vs_serial,omitempty"`
@@ -135,11 +156,28 @@ func WriteBaseline(path string, f *File, force bool) error {
 	return f.Write(path)
 }
 
+// AllocParityCap is the absolute alloc_parity bound: a parallel row may
+// allocate at most this multiple of its serial sibling in steady state.
+// The slack absorbs the honest per-pool-entry costs (spawning worker
+// goroutines, per-worker metric folds) without admitting per-item or
+// per-worker-per-chunk allocation amplification.
+const AllocParityCap = 1.05
+
+// AllocParityFloor is the minimum absolute allocs/op excess (parallel
+// minus serial) before the parity cap fires. Running workers concurrently
+// makes the Go runtime itself allocate a handful of objects per run —
+// goroutine descriptors when the free list runs dry, sudog parking blocks
+// under mutex contention — costs that are O(workers), not O(work). On a
+// row whose serial base is tiny, that fixed noise alone can exceed 5%;
+// the floor keeps such rows honest without letting real amplification
+// through (amplification scales with the work, so it clears any floor).
+const AllocParityFloor = 16
+
 // Regression is one gate failure: a current metric more than threshold
 // worse than its baseline.
 type Regression struct {
 	ID       string
-	Metric   string // "ns/op", "allocs/op", "p50", "p99", "coalesce_hit_rate", or "shard_imbalance"
+	Metric   string // "ns/op", "allocs/op", "p50", "p99", "coalesce_hit_rate", "shard_imbalance", or "alloc_parity"
 	Baseline float64
 	Current  float64
 	Ratio    float64 // Current / Baseline (+Inf for a zero baseline)
@@ -233,6 +271,27 @@ func Compare(baseline, current *File, threshold float64) Result {
 				Baseline: b.ShardImbalance, Current: c.ShardImbalance,
 				Ratio: c.ShardImbalance / b.ShardImbalance,
 			})
+		}
+		// Alloc parity is an absolute, host-independent bound, not a drift
+		// check: allocation counts do not depend on core count or clock
+		// speed, so a parallel row allocating more than AllocParityCap times
+		// its serial sibling fails on every host, contended or not, and the
+		// fractional threshold does not loosen it. The baseline row opts the
+		// rule in by carrying a parity value (old-schema rows without one
+		// are not retroactively gated). Rows whose absolute excess over the
+		// serial base stays within AllocParityFloor pass regardless of the
+		// ratio: on a near-zero-alloc base the runtime's own O(workers)
+		// scheduler noise can exceed 5% without any amplification in the
+		// measured code.
+		if b.AllocParity > 0 && c.AllocParity > AllocParityCap {
+			excess := float64(c.AllocsPerOp) - float64(c.AllocsPerOp)/c.AllocParity
+			if excess > AllocParityFloor {
+				res.Regressions = append(res.Regressions, Regression{
+					ID: b.ID, Metric: "alloc_parity",
+					Baseline: AllocParityCap, Current: c.AllocParity,
+					Ratio: c.AllocParity / AllocParityCap,
+				})
+			}
 		}
 	}
 	sort.Slice(res.Regressions, func(i, j int) bool {

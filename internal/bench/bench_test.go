@@ -115,6 +115,66 @@ func TestCompareShardImbalance(t *testing.T) {
 	}
 }
 
+// TestCompareAllocParity: the parallel-vs-serial allocation parity gates
+// against the absolute cap on every host — like shard_imbalance it is a
+// ratio of two same-process measurements, so host shape never exempts it —
+// and only rows whose baseline opted in (carried a parity value) are gated.
+func TestCompareAllocParity(t *testing.T) {
+	parity := func(v float64, procs int) *File {
+		return file(Record{
+			ID: "fig8a/j8", GoMaxProcs: procs, Parallelism: 8,
+			NsPerOp: 1000, AllocsPerOp: 1000, AllocParity: v, Contended: true,
+		})
+	}
+	base := parity(1.02, 1)
+
+	res := Compare(base, parity(1.20, 1), 0.10)
+	if !res.Fail() || len(res.Regressions) != 1 || res.Regressions[0].Metric != "alloc_parity" {
+		t.Fatalf("parity 1.20 over the %.2f cap not caught: %+v", AllocParityCap, res)
+	}
+	if r := res.Regressions[0]; r.Baseline != AllocParityCap || r.Current != 1.20 {
+		t.Fatalf("regression reports (%v, %v), want the cap and the measured parity", r.Baseline, r.Current)
+	}
+
+	// The cap is absolute, not baseline-relative: a current run at the cap
+	// passes even against a much better baseline, and just over fails.
+	if res := Compare(base, parity(AllocParityCap, 1), 0.10); res.Fail() {
+		t.Fatalf("at-cap parity failed the gate: %+v", res.Regressions)
+	}
+	if res := Compare(base, parity(AllocParityCap+0.001, 1), 0.10); !res.Fail() {
+		t.Fatal("just-over-cap parity passed the gate")
+	}
+
+	// Host shape is irrelevant: the row still gates across a GOMAXPROCS
+	// mismatch and on contended rows (parallel rows usually are).
+	if res := Compare(base, parity(1.20, 8), 0.10); !res.Fail() {
+		t.Fatalf("parity breach hidden by host mismatch: %+v", res)
+	}
+
+	// On a tiny serial base the runtime's own per-worker scheduler noise
+	// (goroutine descriptors, sudog parking) can exceed the 5% cap without
+	// any amplification: rows whose absolute excess stays within
+	// AllocParityFloor pass, and the same ratio on a larger base (where 5%
+	// means real per-item allocation) still fails.
+	tiny := file(Record{
+		ID: "fig8a/j8", GoMaxProcs: 1, Parallelism: 8,
+		NsPerOp: 1000, AllocsPerOp: 165, AllocParity: 1.065, Contended: true,
+	})
+	if res := Compare(base, tiny, 0.10); res.Fail() {
+		t.Fatalf("sub-floor excess (~10 allocs) failed the gate: %+v", res.Regressions)
+	}
+	if res := Compare(base, parity(1.065, 1), 0.10); !res.Fail() {
+		t.Fatal("1.065 parity on a 1000-alloc base (excess ~61) passed the gate")
+	}
+
+	// A baseline without parity (old schema, or a serial row) does not gate:
+	// current rows are only held to the cap once a baseline opted in.
+	old := file(Record{ID: "fig8a/j8", GoMaxProcs: 1, Parallelism: 8, NsPerOp: 1000, AllocsPerOp: 1000, Contended: true})
+	if res := Compare(old, parity(1.20, 1), 0.10); res.Fail() {
+		t.Fatalf("parity gated without baseline opt-in: %+v", res.Regressions)
+	}
+}
+
 // TestCompareMissingRow: silently dropping a benchmark must not pass.
 func TestCompareMissingRow(t *testing.T) {
 	base := file(rec("fig8a/j1", 1000, 100), rec("fig8b/j1", 1000, 100))
@@ -171,7 +231,7 @@ func TestLoadRoundTrip(t *testing.T) {
 	f.Benchmarks = []Record{{
 		ID: "x/j1", Parallelism: 1, GoMaxProcs: 1,
 		NsPerOp: 123.5, AllocsPerOp: 7, WallNs: 1000, CPUNs: 900,
-		Iterations: 3, Speedup: 1.5,
+		Iterations: 3, WarmupIterations: 1, Speedup: 1.5, AllocParity: 1.04,
 	}}
 	if err := f.Write(path); err != nil {
 		t.Fatal(err)

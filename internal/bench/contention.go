@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/pprof"
+	"time"
+
+	"bittactical/internal/experiments"
+	"bittactical/internal/sched"
+	"bittactical/internal/sim"
+)
+
+// contentionLevels is the parallelism ladder the contention profile walks:
+// serial (establishes the no-contention baseline cost) up through the
+// benchmark suite's standard j8.
+var contentionLevels = []int{1, 2, 4, 8}
+
+// RunContention profiles lock contention across the sweep pipeline: with
+// mutex profiling at full fraction, it runs the fig8a runner — the
+// heaviest user of the shared schedule cache, plane cache, and worker
+// pool — once cold and once warm at parallelism 1, 2, 4 and 8, then dumps
+// the accumulated top contended stacks to w (the standard mutex profile
+// in debug text form: contention cycles and event counts per stack, most
+// contended first).
+//
+// The profile is cumulative across all levels by design: a stripe or
+// counter that only collapses under eight workers shows up attributed to
+// its stack regardless of which rung exposed it. Wall time per rung is
+// logged alongside so a contention-bound scaling curve is visible even
+// before reading stacks.
+func RunContention(logf Logf, w io.Writer) error {
+	run := experiments.Registry["fig8a"]
+	if run == nil {
+		return fmt.Errorf("bench: fig8a runner not registered")
+	}
+	old := runtime.SetMutexProfileFraction(1)
+	defer runtime.SetMutexProfileFraction(old)
+	for _, par := range contentionLevels {
+		opts := simOptions()
+		opts.Parallelism = par
+		// Cold pass fills the shared caches (the fill path holds stripe
+		// locks); warm pass is the steady-state lookup traffic.
+		sched.Shared.Reset()
+		sim.SharedPlanes.Reset()
+		for _, pass := range []string{"cold", "warm"} {
+			t0 := time.Now()
+			if _, err := run(opts); err != nil {
+				return fmt.Errorf("bench: contention fig8a/j%d: %w", par, err)
+			}
+			logf.printf("contention fig8a/j%d %s: %.0f ms", par, pass, float64(time.Since(t0).Nanoseconds())/1e6)
+		}
+	}
+	p := pprof.Lookup("mutex")
+	if p == nil {
+		return fmt.Errorf("bench: mutex profile unavailable")
+	}
+	fmt.Fprintf(w, "== mutex profile (fig8a at parallelism %v, GOMAXPROCS=%d) ==\n", contentionLevels, runtime.GOMAXPROCS(0))
+	return p.WriteTo(w, 1)
+}

@@ -6,6 +6,28 @@ import (
 	"time"
 )
 
+// RunOpts tunes how a suite measures.
+type RunOpts struct {
+	// MinTime is the minimum measured wall time per steady-state benchmark
+	// row: the sim suite iterates until it has elapsed (always at least one
+	// iteration), so a row's Iterations scales with the host instead of
+	// being pinned at 1 by a fixed iteration count. Zero selects the
+	// default. Suites measured through testing.Benchmark (kernel, sched)
+	// calibrate to its own benchtime and ignore this.
+	MinTime time.Duration
+}
+
+// defaultMinTime keeps the sim suite's measured window comparable to
+// testing.Benchmark's default 1s benchtime.
+const defaultMinTime = time.Second
+
+func (o RunOpts) minTime() time.Duration {
+	if o.MinTime > 0 {
+		return o.MinTime
+	}
+	return defaultMinTime
+}
+
 // Measure runs fn under testing.Benchmark and packages the result as a
 // Record. parallelism is the requested worker parallelism (0 when the
 // benchmark has no worker pool); the record is tagged contended when it

@@ -37,7 +37,7 @@ type serveShape struct {
 // the coalesce hit rate is a load-shape invariant and gates everywhere.
 // allocs/op is the process-wide allocation count per request — client and
 // server share the process, so it covers the full round trip.
-func RunServe(logf Logf) (*File, error) {
+func RunServe(logf Logf, _ RunOpts) (*File, error) {
 	f := NewFile("AlexNet-ES channel scale 0.1, spatial scale 0.25, tcle:T8<2,5>, loopback HTTP")
 	for _, sh := range []serveShape{
 		{id: "serve/engine", requests: 6, concurrency: 2, unique: true},

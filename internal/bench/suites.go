@@ -3,7 +3,10 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"runtime/debug"
 	"testing"
+	"time"
 
 	"bittactical/internal/experiments"
 	"bittactical/internal/nn"
@@ -34,47 +37,143 @@ func simOptions() experiments.Options {
 }
 
 // RunSim measures the fig8/fig11 experiment runners through the whole
-// engine at parallelism 1 and 8. The shared schedule and plane caches are
-// reset before every iteration so each configuration pays its own build
-// cost; speedup_vs_serial is emitted only when the host can actually
-// overlap workers.
-func RunSim(logf Logf) (*File, error) {
-	f := NewFile("zoo channel scale 0.125, spatial scale 0.35, 25 trials")
+// engine at parallelism 1 and 8, in steady state: the shared schedule and
+// plane caches are reset once per row, unmeasured warmup iterations
+// rebuild them (and warm every arena and pool) with the GC already
+// pinned off — repeating until per-run allocations settle, since
+// parallel rows converge over a few runs as per-worker arenas ratchet up
+// under the racing claim order — and the measured window then iterates
+// until opts.MinTime has elapsed (and at least steadyMinIters iterations
+// have run). allocs/op is therefore the exact per-run steady-state
+// malloc count (ReadMemStats deltas, not sampled), undiluted by warmup
+// and undisturbed by pool-clearing GC cycles; warmup_iterations records
+// how many runs convergence took. Parallel rows carry alloc_parity (their
+// allocs/op over the serial row's) gated against AllocParityCap;
+// speedup_vs_serial is emitted only when the host can actually overlap
+// workers.
+func RunSim(logf Logf, opts RunOpts) (*File, error) {
+	f := NewFile("zoo channel scale 0.125, spatial scale 0.35, 25 trials; steady state (adaptive warmup, caches warm, GC pinned)")
 	concurrent := hostConcurrent()
-	serialNs := map[string]float64{}
+	serial := map[string]Record{}
 	for _, id := range []string{"fig8a", "fig8b", "fig11a", "fig11b"} {
-		run := experiments.Registry[id]
-		if run == nil {
+		if experiments.Registry[id] == nil {
 			return nil, fmt.Errorf("bench: unknown experiment %q", id)
 		}
 		for _, par := range []int{1, 8} {
-			opts := simOptions()
-			opts.Parallelism = par
-			var benchErr error
-			rec := Measure(fmt.Sprintf("%s/j%d", id, par), par, func(b *testing.B) {
-				b.ReportAllocs()
-				for i := 0; i < b.N; i++ {
-					sched.Shared.Reset()
-					sim.SharedPlanes.Reset()
-					if _, err := run(opts); err != nil {
-						benchErr = err
-						b.Fatal(err)
-					}
-				}
-			})
-			if benchErr != nil {
-				return nil, benchErr
+			rec, err := measureSteadySim(id, par, opts.minTime())
+			if err != nil {
+				return nil, err
 			}
 			if par == 1 {
-				serialNs[id] = rec.NsPerOp
-			} else if s := serialNs[id]; concurrent && s > 0 && rec.NsPerOp > 0 {
-				rec.Speedup = s / rec.NsPerOp
+				serial[id] = rec
+			} else {
+				s := serial[id]
+				if concurrent && s.NsPerOp > 0 && rec.NsPerOp > 0 {
+					rec.Speedup = s.NsPerOp / rec.NsPerOp
+				}
+				if s.AllocsPerOp > 0 {
+					rec.AllocParity = float64(rec.AllocsPerOp) / float64(s.AllocsPerOp)
+				}
 			}
 			f.Benchmarks = append(f.Benchmarks, rec)
-			logf.printf("%s: %.0f ns/op, %d allocs/op (%d iters)", rec.ID, rec.NsPerOp, rec.AllocsPerOp, rec.Iterations)
+			logf.printf("%s: %.0f ns/op, %d allocs/op (%d iters, %d warmup, parity %.3f)",
+				rec.ID, rec.NsPerOp, rec.AllocsPerOp, rec.Iterations, rec.WarmupIterations, rec.AllocParity)
 		}
 	}
 	return f, nil
+}
+
+// steadyMinIters is the floor on measured iterations per steady-state
+// row, independent of the time floor: a slow host where one run exceeds
+// MinTime would otherwise measure a single iteration, and any one-time
+// residual warm-up allocation would land on it undiluted.
+const steadyMinIters = 3
+
+// steadyMaxWarmups caps the adaptive warmup. One warmup fills the caches;
+// the rest exist because parallel rows converge gradually: per-worker
+// arenas ratchet up to the largest group each worker happens to claim,
+// and the racing claim order means a worker can first meet its largest
+// group several runs in. Warmup therefore repeats until two consecutive
+// runs allocate the same to within steadySettled (so the ratchet has
+// stopped moving), bounded here so a genuinely noisy workload cannot
+// warm up forever.
+const steadyMaxWarmups = 8
+
+// steadySettled is the per-run malloc-delta tolerance under which two
+// consecutive warmup runs count as converged: within 2% or 8 allocations,
+// whichever is larger (tiny rows jitter by a few allocs from scheduler
+// timing; large rows by a fraction of a percent).
+func steadySettled(prev, cur int64) bool {
+	d := cur - prev
+	if d < 0 {
+		d = -d
+	}
+	tol := prev / 50
+	if tol < 8 {
+		tol = 8
+	}
+	return d <= tol
+}
+
+// measureSteadySim is one steady-state row: cold reset, then — with the
+// GC already pinned off — warmup runs until per-run allocations settle,
+// and a measured window of at least minTime and at least steadyMinIters
+// iterations.
+func measureSteadySim(id string, par int, minTime time.Duration) (Record, error) {
+	run := experiments.Registry[id]
+	opts := simOptions()
+	opts.Parallelism = par
+	sched.Shared.Reset()
+	sim.SharedPlanes.Reset()
+	wall0 := time.Now()
+	cpu0 := processCPUNs()
+	// Pin the GC off before the warmup, not just the measured window: a
+	// collection clears the sync.Pools (arenas, worker state, pooled
+	// coordination blocks), so one mid-warmup or post-warmup collection
+	// would charge the refill to whichever measured iteration happened to
+	// follow — allocation counts would depend on GC timing instead of the
+	// code. With the GC pinned the warmup leaves every pool maximally
+	// warm and the window measures the true steady state.
+	gcPct := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(gcPct)
+	var m0, m1 runtime.MemStats
+	warmups, prev := 0, int64(-1)
+	for warmups < steadyMaxWarmups {
+		runtime.ReadMemStats(&m0)
+		if _, err := run(opts); err != nil {
+			return Record{}, err
+		}
+		runtime.ReadMemStats(&m1)
+		warmups++
+		d := int64(m1.Mallocs - m0.Mallocs)
+		if prev >= 0 && steadySettled(prev, d) {
+			break
+		}
+		prev = d
+	}
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	iters := 0
+	for iters < steadyMinIters || time.Since(t0) < minTime {
+		if _, err := run(opts); err != nil {
+			return Record{}, err
+		}
+		iters++
+	}
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	return Record{
+		ID:               fmt.Sprintf("%s/j%d", id, par),
+		Parallelism:      par,
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		NsPerOp:          float64(elapsed.Nanoseconds()) / float64(iters),
+		AllocsPerOp:      int64(m1.Mallocs-m0.Mallocs) / int64(iters),
+		WallNs:           time.Since(wall0).Nanoseconds(),
+		CPUNs:            processCPUNs() - cpu0,
+		Iterations:       iters,
+		WarmupIterations: warmups,
+		Contended:        Contended(par),
+	}, nil
 }
 
 // schedGroup is the Table-2-sized filter group the scheduler suite runs
@@ -95,7 +194,7 @@ func schedGroup(seed int64) []sched.Filter {
 // arena-mode kernel in steady state (the zero-alloc hot path), the pooled
 // fresh-copy entry point (the cache-fill path), and the reference
 // scheduler it is differentially tested against.
-func RunSched(logf Logf) (*File, error) {
+func RunSched(logf Logf, _ RunOpts) (*File, error) {
 	f := NewFile("16 filters x 16 lanes x 54 steps, 70% sparsity")
 	filters := schedGroup(1)
 	for _, p := range []sched.Pattern{sched.L(1, 2), sched.L(2, 5), sched.T(2, 5), sched.T(1, 6)} {
@@ -142,7 +241,7 @@ func kernelColumn(rng *rand.Rand, lanes int) ([]uint8, []uint64) {
 
 // RunKernel measures the SWAR column-max against its scalar reference
 // per lane count over 256 random columns cycled per op.
-func RunKernel(logf Logf) (*File, error) {
+func RunKernel(logf Logf, _ RunOpts) (*File, error) {
 	f := NewFile("256 random (cost, mask) columns cycled per op")
 	for _, lanes := range []int{8, 16, 32, 64} {
 		rng := rand.New(rand.NewSource(7))
@@ -180,7 +279,7 @@ func RunKernel(logf Logf) (*File, error) {
 type Suite struct {
 	Name string
 	File string // baseline filename relative to the repo root
-	Run  func(Logf) (*File, error)
+	Run  func(Logf, RunOpts) (*File, error)
 }
 
 // Suites are the repo's four committed baselines in gate order.

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"bittactical/internal/arch"
 	"bittactical/internal/backend"
 	_ "bittactical/internal/backend/dstripes" // register the plugin back-end
+	"bittactical/internal/nn"
 	"bittactical/internal/sched"
 	"bittactical/internal/sim"
 )
@@ -24,38 +26,27 @@ func configSweep(o Options, wls []*workload, cfgs []arch.Config, id, title strin
 	}
 	t.Header = append(t.Header, "Geomean")
 
-	type job struct{ ci, wi int }
-	var jobs []job
-	for ci := range cfgs {
-		for wi := range wls {
-			jobs = append(jobs, job{ci, wi})
+	// All (config, model) cells run as one batched engine invocation —
+	// parallelism flows through the engine pool, and steady-state re-runs
+	// reuse the pooled sweep state and per-worker arenas wholesale.
+	cellCfgs := make([]arch.Config, 0, len(cfgs)*len(wls))
+	lwss := make([][]*nn.Lowered, 0, len(cfgs)*len(wls))
+	for _, cfg := range cfgs {
+		for _, wl := range wls {
+			cellCfgs = append(cellCfgs, cfg)
+			lwss = append(lwss, wl.Low)
 		}
 	}
-	results := make([][]*sim.Result, len(cfgs))
-	for i := range results {
-		results[i] = make([]*sim.Result, len(wls))
-	}
-	errs := make([]error, len(jobs))
-	parallelDo(o, len(jobs), func(i int) {
-		j := jobs[i]
-		res, err := simulateAll(o, cfgs[j.ci], wls[j.wi], nil)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		results[j.ci][j.wi] = res
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	layerss, err := sim.SimulateLoweredSweepContext(context.Background(), cellCfgs, lwss, o.simOpts())
+	if err != nil {
+		return nil, err
 	}
 	for ci, cfg := range cfgs {
 		label := fmt.Sprintf("%s<%d,%d>", cfg.Backend.Name(), cfg.Pattern.H, cfg.Pattern.D)
 		row := []string{label}
 		speed := make([]float64, len(wls))
 		for wi := range wls {
-			speed[wi] = results[ci][wi].Speedup()
+			speed[wi] = speedupOf(layerss[ci*len(wls)+wi])
 			row = append(row, f1(speed[wi]))
 		}
 		row = append(row, f1(geomean(speed)))

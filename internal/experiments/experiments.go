@@ -8,8 +8,10 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"bittactical/internal/fixed"
 	"bittactical/internal/nn"
@@ -131,48 +133,127 @@ func dashes(widths []int) []string {
 }
 
 // workload is a built model with its activation tensors and lowered layers.
+// Workloads returned by buildWorkloads are shared through a process-wide
+// cache and must be treated as immutable.
 type workload struct {
 	Model *nn.Model
 	Acts  []*tensor.T
 	Low   []*nn.Lowered
 }
 
-// buildWorkloads instantiates and lowers the selected models in parallel.
+// workloadKey is everything a built workload depends on: the (fully
+// resolved) zoo configuration including the width override, the model
+// name, and the activation seed. Model construction and activation
+// generation are deterministic functions of exactly these inputs, so a
+// cached workload is bit-identical to a fresh build.
+type workloadKey struct {
+	zoo  nn.ZooConfig
+	name string
+	seed int64
+}
+
+// workloadEntry single-flights one build; concurrent requesters share it.
+// The built workload is published through an atomic pointer so the cache's
+// fast path can observe a completed build without entering the sync.Once
+// (a plain field write inside the Do would race with that peek).
+type workloadEntry struct {
+	once sync.Once
+	wl   atomic.Pointer[workload]
+	err  error
+}
+
+// workloadCacheCap bounds resident workloads. An experiment session uses a
+// handful of (zoo, width) variants over at most the seven zoo models;
+// the bound only matters for long-lived processes sweeping many zoo
+// scales, and the drop-all-on-overflow policy matches the other caches.
+const workloadCacheCap = 64
+
+// workloadCache memoizes built workloads process-wide. Model building
+// dominated the steady-state allocation profile of every figure runner
+// (PruneMagnitude, weight fill, tensor allocation — rebuilt per run before
+// this cache); the figures re-run over identical options, so steady state
+// now rebuilds nothing.
+var (
+	workloadMu    sync.Mutex
+	workloadCache = make(map[workloadKey]*workloadEntry)
+)
+
+// buildWorkload returns the cached workload for the key, building it on
+// first use (single-flighted: racing runners share one build).
+func buildWorkload(key workloadKey) (*workload, error) {
+	workloadMu.Lock()
+	e, ok := workloadCache[key]
+	if !ok {
+		if len(workloadCache) >= workloadCacheCap {
+			workloadCache = make(map[workloadKey]*workloadEntry)
+		}
+		e = &workloadEntry{}
+		workloadCache[key] = e
+	}
+	workloadMu.Unlock()
+	e.once.Do(func() {
+		m, err := nn.BuildModel(key.name, key.zoo)
+		if err != nil {
+			e.err = err
+			return
+		}
+		acts := m.GenerateActs(key.seed)
+		low, err := m.Lowered(16, acts)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.wl.Store(&workload{Model: m, Acts: acts, Low: low})
+	})
+	return e.wl.Load(), e.err
+}
+
+// buildWorkloads instantiates and lowers the selected models in parallel,
+// through the process-wide cache — steady-state re-runs of a figure hit
+// every model.
 func buildWorkloads(o Options, width fixed.Width) ([]*workload, error) {
 	names := o.models()
 	out := make([]*workload, len(names))
-	errs := make([]error, len(names))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, o.workers())
-	for i, name := range names {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			z := o.zoo()
-			z.Width = width
-			m, err := nn.BuildModel(name, z)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			acts := m.GenerateActs(o.seed())
-			low, err := m.Lowered(16, acts)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			out[i] = &workload{Model: m, Acts: acts, Low: low}
-		}(i, name)
+	z := o.zoo()
+	z.Width = width
+	// Steady-state fast path: when every workload is already resident the
+	// lookups are map probes — spawning the parallelDo scaffolding
+	// (goroutines, closures, a semaphore channel) per figure run would be
+	// the only allocation left on an otherwise warm path, and it scales
+	// with the worker count, breaking parallel-vs-serial alloc parity.
+	if cachedWorkloads(z, names, o.seed(), out) {
+		return out, nil
 	}
-	wg.Wait()
+	errs := make([]error, len(names))
+	parallelDo(o, len(names), func(i int) {
+		out[i], errs[i] = buildWorkload(workloadKey{zoo: z, name: names[i], seed: o.seed()})
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
+}
+
+// cachedWorkloads fills out from the cache alone, reporting whether every
+// named workload was already built (it stops at the first absent or
+// still-building entry; partial fills are ignored by the caller).
+func cachedWorkloads(z nn.ZooConfig, names []string, seed int64, out []*workload) bool {
+	workloadMu.Lock()
+	defer workloadMu.Unlock()
+	for i, name := range names {
+		e, ok := workloadCache[workloadKey{zoo: z, name: name, seed: seed}]
+		if !ok {
+			return false
+		}
+		wl := e.wl.Load()
+		if wl == nil {
+			return false
+		}
+		out[i] = wl
+	}
+	return true
 }
 
 // parallelDo runs fn(i) for i in [0, n) on the option's worker budget.
@@ -206,8 +287,35 @@ func geomean(vs []float64) float64 {
 	return math.Exp(s / float64(len(vs)))
 }
 
-func f1(v float64) string { return fmt.Sprintf("%.1fx", v) }
-func f2(v float64) string { return fmt.Sprintf("%.2fx", v) }
+// fx formats v as a fixed-precision "1.23x" cell. strconv.AppendFloat into
+// a stack buffer costs exactly the result string — fmt.Sprintf's boxing
+// and buffer management was a visible slice of the figure runners'
+// residual steady-state allocations — and rounds identically to %.Nf
+// (fmt's float verbs are AppendFloat underneath).
+func fx(v float64, prec int) string {
+	var arr [24]byte
+	b := strconv.AppendFloat(arr[:0], v, 'f', prec, 64)
+	b = append(b, 'x')
+	return string(b)
+}
+
+func f1(v float64) string { return fx(v, 1) }
+func f2(v float64) string { return fx(v, 2) }
+
+// speedupOf is sim.Result.Speedup over a bare layer slice: total dense
+// cycles against total actual cycles. The batched figure runners consume
+// engine cells as []sim.LayerResult without assembling a Result per cell.
+func speedupOf(layers []sim.LayerResult) float64 {
+	var cycles, dense int64
+	for i := range layers {
+		cycles += layers[i].Cycles
+		dense += layers[i].DenseCycles
+	}
+	if cycles == 0 {
+		return 1
+	}
+	return float64(dense) / float64(cycles)
+}
 
 // Registry maps experiment ids to runners.
 var Registry = map[string]func(Options) (*Table, error){

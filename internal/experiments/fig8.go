@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"bittactical/internal/arch"
@@ -35,45 +36,51 @@ func Fig8a(o Options) (*Table, error) {
 	}
 	t.Header = append(t.Header, "Geomean")
 
-	type job struct{ cfgIdx, wlIdx, mode int } // mode 0 = lookahead-only, 1 = full
-	var jobs []job
-	for ci := range fig8aConfigs {
-		for wi := range wls {
-			jobs = append(jobs, job{ci, wi, 0}, job{ci, wi, 1})
-		}
-	}
+	// Every (config, mode, model) cell joins one batched engine invocation:
+	// parallelism flows through the engine's own pool instead of one engine
+	// entry per cell, which is what lets the pooled sweep state and worker
+	// arenas reach their zero-alloc steady state across the whole figure.
+	type cell struct{ cfgIdx, wlIdx, mode int } // mode 0 = lookahead-only, 1 = full
 	speed := make([][2][]float64, len(fig8aConfigs))
 	for i := range speed {
 		speed[i][0] = make([]float64, len(wls))
 		speed[i][1] = make([]float64, len(wls))
 	}
-	errs := make([]error, len(jobs))
-	parallelDo(o, len(jobs), func(i int) {
-		j := jobs[i]
-		p, err := sched.ByName(fig8aConfigs[j.cfgIdx])
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		if j.mode == 0 {
-			if p.Infinite {
-				speed[j.cfgIdx][0][j.wlIdx] = 1 // X has no lookahead-only form
-				return
-			}
-			p = p.LookaheadOnly()
-		}
-		cfg := arch.FrontEndOnly(p)
-		res, err := simulateAll(o, cfg, wls[j.wlIdx], nil)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		speed[j.cfgIdx][j.mode][j.wlIdx] = res.Speedup()
-	})
-	for _, err := range errs {
+	var (
+		cells []cell
+		cfgs  []arch.Config
+		lwss  [][]*nn.Lowered
+	)
+	for ci, name := range fig8aConfigs {
+		p, err := sched.ByName(name)
 		if err != nil {
 			return nil, err
 		}
+		for _, mode := range []int{0, 1} {
+			pm := p
+			if mode == 0 {
+				if p.Infinite {
+					for wi := range wls {
+						speed[ci][0][wi] = 1 // X has no lookahead-only form
+					}
+					continue
+				}
+				pm = p.LookaheadOnly()
+			}
+			cfg := arch.FrontEndOnly(pm)
+			for wi := range wls {
+				cells = append(cells, cell{ci, wi, mode})
+				cfgs = append(cfgs, cfg)
+				lwss = append(lwss, wls[wi].Low)
+			}
+		}
+	}
+	layerss, err := sim.SimulateLoweredSweepContext(context.Background(), cfgs, lwss, o.simOpts())
+	if err != nil {
+		return nil, err
+	}
+	for k, c := range cells {
+		speed[c.cfgIdx][c.mode][c.wlIdx] = speedupOf(layerss[k])
 	}
 	for ci, name := range fig8aConfigs {
 		for _, mode := range []int{0, 1} {

@@ -1,0 +1,203 @@
+package sched
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// stressWorkload builds per-worker disjoint filter groups plus their fresh
+// (uncached) schedules as the correctness oracle. Disjoint key sets keep the
+// eviction accounting exact under concurrency: a key is only ever filled by
+// its owning worker, so every recorded miss corresponds to exactly one
+// insert, and at quiescence evictions + resident entries must equal misses
+// across all stripes.
+func stressWorkload(workers, groupsPer int, p Pattern, alg Algorithm) ([][][]Filter, [][][]*Schedule) {
+	groups := make([][][]Filter, workers)
+	fresh := make([][][]*Schedule, workers)
+	for w := 0; w < workers; w++ {
+		groups[w] = make([][]Filter, groupsPer)
+		fresh[w] = make([][]*Schedule, groupsPer)
+		for g := 0; g < groupsPer; g++ {
+			seed := int64(1000 + w*groupsPer + g)
+			groups[w][g] = cacheTestGroup(seed, 10, 8, 0.6, nil)
+			fresh[w][g] = ScheduleGroup(groups[w][g], p, alg)
+		}
+	}
+	return groups, fresh
+}
+
+// TestCacheConcurrentMixedLoad hammers the striped cache with a mixed
+// hit/miss/evict load: each worker loops over its own working set, so early
+// rounds miss and fill, later rounds hit — unless a capacity sweep dropped
+// the entry, forcing a re-fill. Run across capacities that exercise the
+// full stripe ladder (capacity 1 = single stripe and eviction on nearly
+// every insert; 8 = reduced stripes; default = 16 stripes, no evictions).
+// Every lookup must return schedules identical to the uncached computation,
+// and the cross-stripe counters must balance exactly:
+//
+//	hits + misses == lookups
+//	evictions + entries == misses   (disjoint keys: one insert per miss)
+func TestCacheConcurrentMixedLoad(t *testing.T) {
+	const workers, groupsPer, rounds = 8, 12, 12
+	p, alg := T(2, 5), Algorithm1
+	groups, fresh := stressWorkload(workers, groupsPer, p, alg)
+
+	for _, capacity := range []int{1, 8, 0} {
+		t.Run(fmt.Sprintf("capacity=%d", capacity), func(t *testing.T) {
+			c := NewCache(capacity)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for r := 0; r < rounds; r++ {
+						for g := range groups[w] {
+							got := c.ScheduleGroup(groups[w][g], p, alg)
+							if !reflect.DeepEqual(fresh[w][g], got) {
+								t.Errorf("worker %d group %d round %d: cached schedules differ from fresh computation", w, g, r)
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+
+			st := c.Stats()
+			lookups := int64(workers * groupsPer * rounds)
+			if st.Hits+st.Misses != lookups {
+				t.Errorf("hits %d + misses %d != lookups %d", st.Hits, st.Misses, lookups)
+			}
+			if st.Evictions+int64(st.Entries) != st.Misses {
+				t.Errorf("evictions %d + resident %d != misses %d: cross-stripe eviction accounting drifted",
+					st.Evictions, st.Entries, st.Misses)
+			}
+			if capacity == 1 && st.Evictions == 0 {
+				t.Error("capacity-1 churn recorded no evictions")
+			}
+			if capacity == 0 && st.Evictions != 0 {
+				t.Errorf("default capacity evicted %d entries for a %d-entry working set", st.Evictions, workers*groupsPer)
+			}
+		})
+	}
+}
+
+// TestKeyerMatchesScheduleGroup pins the precomputed-key path against the
+// hash-per-call entry point: same schedules, and a Keyer hit returns the
+// cached pointers the plain path stored.
+func TestKeyerMatchesScheduleGroup(t *testing.T) {
+	c := NewCache(0)
+	p, alg := T(2, 5), Algorithm1
+	group := cacheTestGroup(500, 12, 8, 0.6, nil)
+
+	direct := c.ScheduleGroup(group, p, alg)
+	k := c.Keyer(p, alg)
+	h1, h2 := HashFilters(group)
+	viaKeyer := k.ScheduleGroup(h1, h2, group)
+	for i := range direct {
+		if direct[i] != viaKeyer[i] {
+			t.Fatalf("filter %d: Keyer lookup missed the entry ScheduleGroup stored", i)
+		}
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = (%d hits, %d misses), want the Keyer path to hit", st.Hits, st.Misses)
+	}
+}
+
+// TestScheduleGroupsBatchDuplicates pins batch-internal dedup: duplicate
+// refs in one batch are computed once and share the first occurrence's
+// result, while each ref still counts toward the lookup tally.
+func TestScheduleGroupsBatchDuplicates(t *testing.T) {
+	c := NewCache(0)
+	p, alg := T(2, 5), Algorithm1
+	a := cacheTestGroup(600, 10, 8, 0.6, nil)
+	b := cacheTestGroup(601, 10, 8, 0.6, nil)
+	ah1, ah2 := HashFilters(a)
+	bh1, bh2 := HashFilters(b)
+
+	refs := []GroupRef{
+		{H1: ah1, H2: ah2, Filters: a},
+		{H1: bh1, H2: bh2, Filters: b},
+		{H1: ah1, H2: ah2, Filters: a}, // duplicate of refs[0]
+	}
+	out := make([][]*Schedule, len(refs))
+	c.Keyer(p, alg).ScheduleGroups(refs, out)
+
+	for i := range out[0] {
+		if out[0][i] != out[2][i] {
+			t.Fatalf("filter %d: batch duplicate did not share the first fill", i)
+		}
+	}
+	if !reflect.DeepEqual(out[0], ScheduleGroup(a, p, alg)) || !reflect.DeepEqual(out[1], ScheduleGroup(b, p, alg)) {
+		t.Fatal("batch fill differs from direct ScheduleGroup")
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != int64(len(refs)) {
+		t.Fatalf("hits %d + misses %d != %d refs", st.Hits, st.Misses, len(refs))
+	}
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2 distinct groups", st.Entries)
+	}
+}
+
+// TestScheduleGroupsBatchConcurrent drives the batched lookup path from
+// many workers over disjoint dup-free batches with a capacity small enough
+// to force overflow sweeps mid-batch. Results must match the uncached
+// computation on every round and the cross-stripe accounting must stay
+// exact, including entries dropped while other workers' batches were in
+// their probe or fill phases.
+func TestScheduleGroupsBatchConcurrent(t *testing.T) {
+	const workers, groupsPer, rounds = 8, 10, 10
+	p, alg := T(2, 5), Algorithm1
+	groups, fresh := stressWorkload(workers, groupsPer, p, alg)
+
+	c := NewCache(workers * groupsPer / 4) // working set 4x capacity: constant churn
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			k := c.Keyer(p, alg)
+			refs := make([]GroupRef, groupsPer)
+			for g := range refs {
+				h1, h2 := HashFilters(groups[w][g])
+				refs[g] = GroupRef{H1: h1, H2: h2, Filters: groups[w][g]}
+			}
+			out := make([][]*Schedule, groupsPer)
+			for r := 0; r < rounds; r++ {
+				for g := range out {
+					out[g] = nil
+				}
+				k.ScheduleGroups(refs, out)
+				for g := range out {
+					if !reflect.DeepEqual(fresh[w][g], out[g]) {
+						t.Errorf("worker %d group %d round %d: batched schedules differ from fresh computation", w, g, r)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	st := c.Stats()
+	lookups := int64(workers * groupsPer * rounds)
+	if st.Hits+st.Misses != lookups {
+		t.Errorf("hits %d + misses %d != lookups %d", st.Hits, st.Misses, lookups)
+	}
+	if st.Evictions+int64(st.Entries) != st.Misses {
+		t.Errorf("evictions %d + resident %d != misses %d: cross-stripe eviction accounting drifted",
+			st.Evictions, st.Entries, st.Misses)
+	}
+	if st.Evictions == 0 {
+		t.Error("4x-capacity churn recorded no evictions")
+	}
+}

@@ -18,7 +18,7 @@ func TestEmitBenchSched(t *testing.T) {
 	if os.Getenv("TCL_BENCH_SCHED") == "" {
 		t.Skip("set TCL_BENCH_SCHED=1 to regenerate BENCH_sched.json")
 	}
-	f, err := bench.RunSched(t.Logf)
+	f, err := bench.RunSched(t.Logf, bench.RunOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}

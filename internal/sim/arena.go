@@ -56,18 +56,73 @@ type groupBufs struct {
 
 var groupBufsPool = sync.Pool{New: func() any { return &groupBufs{} }}
 
-// release returns the group's buffers to the pool and severs the context's
-// views into them. Called by finishGroup after the fold; contexts built by
-// tests that never finish simply let the GC take the buffers.
-func (ctx *groupCtx) release() {
+// releaseTo returns the group's buffers — to the finishing worker's
+// freelist when ws is non-nil, to the shared pool otherwise — and severs
+// the context's views into them. Called by finishGroup after the fold;
+// contexts built by tests that never finish simply let the GC take the
+// buffers.
+func (ctx *groupCtx) releaseTo(ws *workerState) {
 	b := ctx.bufs
 	if b == nil {
 		return
 	}
 	ctx.bufs = nil
 	ctx.refs, ctx.masks, ctx.rowPlanes, ctx.peTotals = nil, nil, nil, nil
-	groupBufsPool.Put(b)
+	if ws != nil {
+		ws.putBufs(b)
+	} else {
+		groupBufsPool.Put(b)
+	}
 }
+
+// release is releaseTo without a worker — the tests' entry point.
+func (ctx *groupCtx) release() { ctx.releaseTo(nil) }
+
+// workerState is one pool worker's private arena set, handed out at pool
+// spin-up (indexed by the worker id runPool passes fn) and retained inside
+// the pooled sweepState across engine entries. Unlike the sync.Pools —
+// which the GC clears, and which eight workers hit per chunk — these live
+// as long as the sweepState and are touched with zero synchronization, so
+// the parallel path's per-chunk arena traffic allocates exactly as little
+// as the serial path's: nothing, once warm.
+//
+// The scratch arena (sc) is safe per worker because a worker runs one item
+// at a time and prepareGroupInto consumes it synchronously. groupBufs
+// cross workers (acquired by the preparing worker, released by whichever
+// worker folds the group's last chunk), so they route through per-worker
+// freelists: pop on prepare, push on finish.
+type workerState struct {
+	sc   *groupScratch
+	free []*groupBufs
+	// Pad to 128 bytes so adjacent workers' states never share a cache
+	// line (the slice header is rewritten on every push/pop).
+	_ [96]byte
+}
+
+// scratch returns the worker's transient prepare arena, creating it on the
+// worker's first group (the one-time warmup this design accepts).
+func (ws *workerState) scratch() *groupScratch {
+	if ws.sc == nil {
+		ws.sc = new(groupScratch)
+	}
+	return ws.sc
+}
+
+// getBufs pops a prepare-to-finish buffer set from the worker's freelist,
+// falling back to the shared pool when the freelist is dry (first groups,
+// or a workload where other workers finish this worker's groups).
+func (ws *workerState) getBufs() *groupBufs {
+	if n := len(ws.free); n > 0 {
+		b := ws.free[n-1]
+		ws.free[n-1] = nil
+		ws.free = ws.free[:n-1]
+		return b
+	}
+	return groupBufsPool.Get().(*groupBufs)
+}
+
+// putBufs pushes a released buffer set onto the worker's freelist.
+func (ws *workerState) putBufs(b *groupBufs) { ws.free = append(ws.free, b) }
 
 // grow returns sl with length n, reusing capacity when possible. Reused
 // contents are stale; see the lifetime notes above for which buffers
@@ -94,6 +149,24 @@ type sweepState struct {
 	partials []windowPartial
 	slots    []planeSlot
 	items    []workItem
+	// wstates is the per-worker arena set, indexed by runPool's worker id.
+	// Deliberately NOT cleared by carve: the scratch arenas and freelists
+	// are exactly what must survive from one engine entry to the next for
+	// the steady state to allocate nothing.
+	wstates []workerState
+}
+
+// workerStates returns the state array for a pool of `workers`, growing it
+// (and preserving existing warm arenas) when a sweep asks for more workers
+// than any before it.
+func (st *sweepState) workerStates(workers int) []workerState {
+	if workers < 1 {
+		workers = 1
+	}
+	for len(st.wstates) < workers {
+		st.wstates = append(st.wstates, workerState{})
+	}
+	return st.wstates
 }
 
 var sweepStatePool = sync.Pool{New: func() any { return new(sweepState) }}

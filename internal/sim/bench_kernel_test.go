@@ -18,7 +18,7 @@ func TestEmitBenchKernel(t *testing.T) {
 	if os.Getenv("TCL_BENCH_KERNEL") == "" {
 		t.Skip("set TCL_BENCH_KERNEL=1 to regenerate BENCH_kernel.json")
 	}
-	f, err := bench.RunKernel(t.Logf)
+	f, err := bench.RunKernel(t.Logf, bench.RunOpts{})
 	if err != nil {
 		t.Fatal(err)
 	}

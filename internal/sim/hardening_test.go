@@ -126,7 +126,7 @@ func TestRunPoolPanicPoisonsQueue(t *testing.T) {
 	var recovered any
 	func() {
 		defer func() { recovered = recover() }()
-		runPool(nil, workers, n, func(i int) {
+		runPool(nil, workers, n, func(_, i int) {
 			if i == 0 {
 				panic("boom at item 0")
 			}
@@ -152,7 +152,7 @@ func TestRunPoolPanicPreservesStack(t *testing.T) {
 	var recovered any
 	func() {
 		defer func() { recovered = recover() }()
-		runPool(nil, 4, 64, func(i int) {
+		runPool(nil, 4, 64, func(_, i int) {
 			if i == 3 {
 				panic(sentinel)
 			}
@@ -184,7 +184,7 @@ func TestRunPoolDoneStopsClaims(t *testing.T) {
 		done := make(chan struct{})
 		close(done)
 		var executed atomic.Int64
-		completed := runPool(done, workers, 1000, func(i int) { executed.Add(1) })
+		completed := runPool(done, workers, 1000, func(_, i int) { executed.Add(1) })
 		if completed {
 			t.Errorf("workers=%d: pool reported completion under a closed done channel", workers)
 		}
@@ -196,7 +196,7 @@ func TestRunPoolDoneStopsClaims(t *testing.T) {
 	}
 	// A nil done channel never fires: the pool must run to completion.
 	var executed atomic.Int64
-	if !runPool(nil, 4, 100, func(i int) { executed.Add(1) }) {
+	if !runPool(nil, 4, 100, func(_, i int) { executed.Add(1) }) {
 		t.Error("nil done: pool did not report completion")
 	}
 	if executed.Load() != 100 {

@@ -81,10 +81,18 @@ var (
 	poolItems = metrics.Default.Counter("sim_pool_items_total")
 )
 
-// runPool executes fn(0..n-1) on up to `workers` goroutines. Items live in
-// a single shared queue and idle workers steal the next unclaimed index, so
-// a slow filter group (large layer, dense weights) never idles the rest of
-// the pool behind a static partition.
+// runPool executes fn(w, 0..n-1) on up to `workers` goroutines, passing
+// each invocation the dense index w of the worker running it (0 on the
+// serial inline path) so callers can hand every worker private scratch at
+// pool spin-up instead of per item. Items live in a single shared queue
+// and idle workers steal the next unclaimed index, so a slow filter group
+// (large layer, dense weights) never idles the rest of the pool behind a
+// static partition.
+//
+// Pool metrics are worker-granular: each worker ticks the busy gauge once
+// for its lifetime and folds its item count into the process counter once
+// at drain, so the hot claim loop performs no shared atomic writes. Totals
+// are exact whenever runPool has returned.
 //
 // The done channel (a context's Done, or nil for run-to-completion) is
 // checked before every claim: once it closes, no worker claims another item
@@ -97,70 +105,105 @@ var (
 // and the first panic is re-raised on the caller's goroutine as a
 // *WorkerPanic carrying the original value and the worker's stack (the
 // runtime traceback of the re-raise shows only the caller's stack).
-func runPool(done <-chan struct{}, workers, n int, fn func(i int)) (completed bool) {
+func runPool(done <-chan struct{}, workers, n int, fn func(w, i int)) (completed bool) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 || n <= 1 {
+		poolBusy.Inc()
+		defer poolBusy.Dec()
+		var count int64
+		defer func() { poolItems.Add(count) }()
 		for i := 0; i < n; i++ {
 			select {
 			case <-done:
 				return false
 			default:
 			}
-			runItem(fn, i)
+			fn(0, i)
+			count++
 		}
 		return true
 	}
-	var (
-		next     atomic.Int64
-		wg       sync.WaitGroup
-		panicked atomic.Pointer[WorkerPanic]
-		poisoned atomic.Bool
-	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					panicked.CompareAndSwap(nil, &WorkerPanic{Value: r, Stack: debug.Stack()})
-					poisoned.Store(true)
-				}
-			}()
-			for !poisoned.Load() {
-				select {
-				case <-done:
-					return
-				default:
-				}
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				runItem(fn, i)
-			}
-		}()
+	// One poolRun carries all shared state, so spawning a pool of any width
+	// in steady state costs no heap allocations that scale with the worker
+	// count: the argless per-index spawn closures (a `go` statement with
+	// arguments heap-allocates a hidden thunk per spawn) are built once per
+	// poolRun and recycled with it.
+	st := poolRunPool.Get().(*poolRun)
+	st.done, st.fn, st.n = done, fn, n
+	st.next.Store(0)
+	st.panicked.Store(nil)
+	st.poisoned.Store(false)
+	for len(st.wfns) < workers {
+		w := len(st.wfns)
+		st.wfns = append(st.wfns, func() { st.worker(w) })
 	}
-	wg.Wait()
-	if p := panicked.Load(); p != nil {
+	for w := 0; w < workers; w++ {
+		st.wg.Add(1)
+		go st.wfns[w]()
+	}
+	st.wg.Wait()
+	p := st.panicked.Load()
+	completed = int(st.next.Load()) >= n
+	st.done, st.fn = nil, nil
+	poolRunPool.Put(st)
+	if p != nil {
 		panic(p)
 	}
 	select {
 	case <-done:
 		return false
 	default:
-		return int(next.Load()) >= n
+		return completed
 	}
 }
 
-// runItem tracks pool occupancy around one work item; the deferred Dec
-// keeps the gauge balanced even when fn panics.
-func runItem(fn func(i int), i int) {
+// poolRun is one parallel runPool invocation's shared state, pooled so a
+// steady stream of pool entries reuses one allocation.
+type poolRun struct {
+	next     atomic.Int64
+	wg       sync.WaitGroup
+	panicked atomic.Pointer[WorkerPanic]
+	poisoned atomic.Bool
+	done     <-chan struct{}
+	fn       func(w, i int)
+	n        int
+	// wfns[w] is the reusable spawn closure for worker index w; it reads
+	// the run's work through the stable *poolRun receiver, so the same
+	// closure serves every invocation this state is recycled into.
+	wfns []func()
+}
+
+var poolRunPool = sync.Pool{New: func() any { return new(poolRun) }}
+
+// worker is the goroutine body of one pool worker; see runPool for the
+// claim-loop, cancellation, metrics, and panic contracts.
+func (st *poolRun) worker(w int) {
+	defer st.wg.Done()
 	poolBusy.Inc()
 	defer poolBusy.Dec()
-	fn(i)
-	poolItems.Inc()
+	var count int64
+	defer func() { poolItems.Add(count) }()
+	defer func() {
+		if r := recover(); r != nil {
+			st.panicked.CompareAndSwap(nil, &WorkerPanic{Value: r, Stack: debug.Stack()})
+			st.poisoned.Store(true)
+		}
+	}()
+	for !st.poisoned.Load() {
+		select {
+		case <-st.done:
+			return
+		default:
+		}
+		i := int(st.next.Add(1)) - 1
+		if i >= st.n {
+			return
+		}
+		st.fn(w, i)
+		count++
+	}
 }
 
 // WorkerPanic is the value runPool re-raises after a worker panic: the

@@ -27,10 +27,18 @@ import (
 // work, so concurrent requesters of the same key (two sweep configs hitting
 // the same layer in the pool) wait on the first builder's sync.Once instead
 // of racing to duplicate the build.
+//
+// The entry map is striped over a power-of-two number of shards selected
+// by the content fingerprint (h1), each with its own lock, so parallel
+// sweeps hitting warm planes stop serializing on one mutex. The byte
+// budget stays global: resident bytes are tracked in one atomic off the
+// lookup path, and the (rare) overflow drop locks every stripe, preserving
+// the single-mutex cache's exact semantics — drop everything but the entry
+// being inserted, count each dropped entry as one eviction.
 type PlaneCache struct {
-	mu       sync.Mutex
-	m        map[planeKey]*planeEntry
-	bytes    int64
+	stripes  []planeStripe
+	mask     uint64
+	bytes    atomic.Int64
 	maxBytes int64
 
 	hits      atomic.Int64
@@ -45,6 +53,17 @@ type PlaneCache struct {
 	groupHits      atomic.Int64
 	groupEvictions atomic.Int64
 }
+
+// planeStripe is one shard of the entry map with its own lock.
+type planeStripe struct {
+	mu sync.Mutex
+	m  map[planeKey]*planeEntry
+}
+
+// planeCacheStripes is the fixed stripe count. A process caches at most a
+// few hundred planes (layers x back-ends x widths), so a handful of
+// stripes already makes lock collisions between eight workers unlikely.
+const planeCacheStripes = 8
 
 // planeEntry single-flights one plane build: the creator runs the Once body;
 // later requesters of the same key block on it and share the result.
@@ -83,7 +102,20 @@ func NewPlaneCache(maxBytes int64) *PlaneCache {
 	if maxBytes <= 0 {
 		maxBytes = defaultPlaneCacheBytes
 	}
-	return &PlaneCache{m: make(map[planeKey]*planeEntry), maxBytes: maxBytes}
+	c := &PlaneCache{
+		stripes:  make([]planeStripe, planeCacheStripes),
+		mask:     planeCacheStripes - 1,
+		maxBytes: maxBytes,
+	}
+	for i := range c.stripes {
+		c.stripes[i].m = make(map[planeKey]*planeEntry)
+	}
+	return c
+}
+
+// stripe selects the shard for a key by its content fingerprint.
+func (c *PlaneCache) stripe(h1 uint64) *planeStripe {
+	return &c.stripes[h1&c.mask]
 }
 
 // SharedPlanes is the process-wide plane cache the simulator uses by
@@ -147,8 +179,9 @@ func (c *PlaneCache) get(lw *nn.Lowered, be backend.Backend, w fixed.Width, ct *
 // tick the sim_plane_group_* counters.
 func (c *PlaneCache) getKeyed(key planeKey, lw *nn.Lowered, ct *costTable, actGroup int) *costPlane {
 	grouped := key.group >= 0
-	c.mu.Lock()
-	e, ok := c.m[key]
+	s := c.stripe(key.h1)
+	s.mu.Lock()
+	e, ok := s.m[key]
 	if ok {
 		c.hits.Add(1)
 		if grouped {
@@ -160,31 +193,66 @@ func (c *PlaneCache) getKeyed(key planeKey, lw *nn.Lowered, ct *costTable, actGr
 			c.groupBuilds.Add(1)
 		}
 		e = &planeEntry{}
-		c.m[key] = e
+		s.m[key] = e
 	}
-	c.mu.Unlock()
+	s.mu.Unlock()
 	e.once.Do(func() {
 		e.plane = buildPlane(lw, ct, actGroup)
-		c.mu.Lock()
+		s.mu.Lock()
 		// Account the bytes only if the entry is still resident: an overflow
 		// drop that raced this build already discarded it from the map, and
 		// the builder's reference keeps the plane alive for its caller alone.
-		if cur, live := c.m[key]; live && cur == e {
-			c.bytes += e.plane.sizeBytes()
-			if c.bytes > c.maxBytes {
-				c.evictions.Add(int64(len(c.m) - 1))
-				for k2 := range c.m {
-					if k2 != key && k2.group >= 0 {
-						c.groupEvictions.Add(1)
-					}
-				}
-				c.m = map[planeKey]*planeEntry{key: e}
-				c.bytes = e.plane.sizeBytes()
-			}
+		live := false
+		if cur, ok := s.m[key]; ok && cur == e {
+			live = true
+			c.bytes.Add(e.plane.sizeBytes())
 		}
-		c.mu.Unlock()
+		over := c.bytes.Load() > c.maxBytes
+		s.mu.Unlock()
+		if live && over {
+			c.evictAllBut(key, e)
+		}
 	})
 	return e.plane
+}
+
+// evictAllBut is the overflow drop: everything except the inserting entry
+// goes, each dropped entry counting one eviction. It locks every stripe —
+// overflow is rare by construction (the default budget holds a whole
+// multi-model sweep), so the hot lookup path never pays for this.
+func (c *PlaneCache) evictAllBut(key planeKey, e *planeEntry) {
+	for i := range c.stripes {
+		c.stripes[i].mu.Lock()
+	}
+	// Re-check under full lock: a concurrent drop may already have fixed
+	// the budget (and possibly discarded our entry with it).
+	if c.bytes.Load() > c.maxBytes {
+		var dropped int64
+		for i := range c.stripes {
+			s := &c.stripes[i]
+			for k2, e2 := range s.m {
+				if k2 == key && e2 == e {
+					continue
+				}
+				dropped++
+				if k2.group >= 0 {
+					c.groupEvictions.Add(1)
+				}
+				delete(s.m, k2)
+			}
+		}
+		c.evictions.Add(dropped)
+		// The only survivor is the inserting entry (if still resident); any
+		// dropped in-flight build skips its accounting via the live-check.
+		var resident int64
+		if cur, ok := c.stripe(key.h1).m[key]; ok && cur == e {
+			resident = e.plane.sizeBytes()
+		}
+		c.bytes.Store(resident)
+	}
+	for i := len(c.stripes) - 1; i >= 0; i-- {
+		c.stripes[i].mu.Unlock()
+	}
 }
 
 // PlaneCacheStats is a plane cache's lifetime counters and current
@@ -206,15 +274,19 @@ type PlaneCacheStats struct {
 
 // Stats reports lifetime hit/miss/eviction counters and current residency.
 func (c *PlaneCache) Stats() PlaneCacheStats {
-	c.mu.Lock()
-	n, b := len(c.m), c.bytes
-	c.mu.Unlock()
+	n := 0
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		n += len(s.m)
+		s.mu.Unlock()
+	}
 	return PlaneCacheStats{
 		Hits:           c.hits.Load(),
 		Misses:         c.misses.Load(),
 		Evictions:      c.evictions.Load(),
 		Entries:        n,
-		Bytes:          b,
+		Bytes:          c.bytes.Load(),
 		GroupBuilds:    c.groupBuilds.Load(),
 		GroupHits:      c.groupHits.Load(),
 		GroupEvictions: c.groupEvictions.Load(),
@@ -228,16 +300,8 @@ func (c *PlaneCache) RegisterMetrics(r *metrics.Registry, prefix string) {
 	r.Func(prefix+"_hits", c.hits.Load)
 	r.Func(prefix+"_misses", c.misses.Load)
 	r.Func(prefix+"_evictions", c.evictions.Load)
-	r.Func(prefix+"_entries", func() int64 {
-		c.mu.Lock()
-		defer c.mu.Unlock()
-		return int64(len(c.m))
-	})
-	r.Func(prefix+"_bytes", func() int64 {
-		c.mu.Lock()
-		defer c.mu.Unlock()
-		return c.bytes
-	})
+	r.Func(prefix+"_entries", func() int64 { return int64(c.Stats().Entries) })
+	r.Func(prefix+"_bytes", c.bytes.Load)
 	r.Func(prefix+"_group_builds", c.groupBuilds.Load)
 	r.Func(prefix+"_group_hits", c.groupHits.Load)
 	r.Func(prefix+"_group_evictions", c.groupEvictions.Load)
@@ -246,10 +310,13 @@ func (c *PlaneCache) RegisterMetrics(r *metrics.Registry, prefix string) {
 // Reset drops every entry and zeroes the counters. The dropped entries are
 // deliberate, not capacity pressure, so they do not count as evictions.
 func (c *PlaneCache) Reset() {
-	c.mu.Lock()
-	c.m = make(map[planeKey]*planeEntry)
-	c.bytes = 0
-	c.mu.Unlock()
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		s.m = make(map[planeKey]*planeEntry)
+		s.mu.Unlock()
+	}
+	c.bytes.Store(0)
 	c.hits.Store(0)
 	c.misses.Store(0)
 	c.evictions.Store(0)

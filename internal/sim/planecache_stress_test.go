@@ -107,17 +107,22 @@ func TestPlaneCacheEvictionUnderConcurrentPressure(t *testing.T) {
 
 	// All builds have completed; resident bytes must equal the sum of the
 	// resident planes, and fit the budget (a lone entry may exceed it).
-	c.mu.Lock()
 	var sum int64
-	for _, e := range c.m {
-		if e.plane == nil {
-			t.Error("resident entry with nil plane after all gets returned")
-			continue
+	entries := 0
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		entries += len(s.m)
+		for _, e := range s.m {
+			if e.plane == nil {
+				t.Error("resident entry with nil plane after all gets returned")
+				continue
+			}
+			sum += e.plane.sizeBytes()
 		}
-		sum += e.plane.sizeBytes()
+		s.mu.Unlock()
 	}
-	entries, bytes, budget := len(c.m), c.bytes, c.maxBytes
-	c.mu.Unlock()
+	bytes, budget := c.bytes.Load(), c.maxBytes
 	if bytes != sum {
 		t.Errorf("accounted bytes %d != resident plane bytes %d", bytes, sum)
 	}

@@ -353,7 +353,9 @@ func simulateSweep(ctx context.Context, cfgs []arch.Config, lwss [][]*nn.Lowered
 			}
 		}
 	}
-	completed := runPool(ctx.Done(), workers, len(items), func(i int) {
+	wstates := st.workerStates(workers)
+	completed := runPool(ctx.Done(), workers, len(items), func(w, i int) {
+		ws := &wstates[w]
 		it := items[i]
 		cw := it.work
 		lw := cw.lws[it.layer]
@@ -363,7 +365,7 @@ func simulateSweep(ctx context.Context, cfgs []arch.Config, lwss [][]*nn.Lowered
 		}
 		ga := &lwk.accums[it.group]
 		ga.once.Do(func() {
-			prepareGroupInto(&ga.ctxStore, cw.cfg, lw, cw.ct, lwk.pad, it.f0, it.f1, len(ga.partials), cw.keyerPtr())
+			prepareGroupInto(&ga.ctxStore, cw.cfg, lw, cw.ct, lwk.pad, it.f0, it.f1, len(ga.partials), cw.keyerPtr(), ws)
 			ga.ctx = &ga.ctxStore
 			if ga.ctx.needsWindows {
 				// Resolve each PE row's act-group plane once per group; a
@@ -380,7 +382,7 @@ func simulateSweep(ctx context.Context, cfgs []arch.Config, lwss [][]*nn.Lowered
 		}
 		ga.partials[it.chunk] = wp
 		if ga.remaining.Add(-1) == 0 {
-			ga.result = finishGroup(cw.cfg, ga.ctx, ga.partials)
+			ga.result = finishGroup(cw.cfg, ga.ctx, ga.partials, ws)
 			ga.ctx = nil
 			if lwk.remaining.Add(-1) == 0 {
 				lwk.result = mergeLayer(cw.cfg, lw, lwk.accums)
@@ -570,7 +572,7 @@ type windowPartial struct {
 // differential tests' entry point.
 func prepareGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f0, f1 int, keyer *sched.Keyer) *groupCtx {
 	ctx := new(groupCtx)
-	prepareGroupInto(ctx, cfg, lw, ct, pad, f0, f1, 1, keyer)
+	prepareGroupInto(ctx, cfg, lw, ct, pad, f0, f1, 1, keyer, nil)
 	return ctx
 }
 
@@ -580,20 +582,27 @@ func prepareGroup(cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f0
 // walk consumes. For the bit-parallel back-end the group's full result is
 // computed here (its cost model is window-independent).
 //
-// Filter rows are materialized into a pooled scratch arena that is
-// recycled before returning — safe because schedules never retain their
-// filters (sched.NewFilter wraps the row slice, and both the cache and
-// the kernel copy entry data, not weights). The context's own grids carve
-// from a second pooled arena held until finishGroup releases it.
-func prepareGroupInto(ctx *groupCtx, cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f0, f1, nChunks int, keyer *sched.Keyer) {
+// Filter rows are materialized into the worker's private scratch arena
+// (handed out at pool spin-up; the shared sync.Pool is the ws == nil
+// fallback for tests) and recycled before returning — safe because
+// schedules never retain their filters (sched.NewFilter wraps the row
+// slice, and both the cache and the kernel copy entry data, not weights).
+// The context's own grids carve from a second arena (the worker's
+// freelist, or the shared pool) held until finishGroup releases it.
+func prepareGroupInto(ctx *groupCtx, cfg arch.Config, lw *nn.Lowered, ct *costTable, pad []bool, f0, f1, nChunks int, keyer *sched.Keyer, ws *workerState) {
 	lanes, rows, wg := cfg.Lanes, cfg.FiltersPerTile, cfg.WindowsPerTile
 	steps, W := lw.Steps, lw.WindowCount
 	nrows := f1 - f0
 	*ctx = groupCtx{f0: f0, f1: f1, nrows: nrows}
 	r := &ctx.base
 
-	sc := groupScratchPool.Get().(*groupScratch)
-	defer groupScratchPool.Put(sc)
+	var sc *groupScratch
+	if ws != nil {
+		sc = ws.scratch()
+	} else {
+		sc = groupScratchPool.Get().(*groupScratch)
+		defer groupScratchPool.Put(sc)
+	}
 	sc.weights = grow(sc.weights, nrows*steps*lanes)
 	sc.filters = grow(sc.filters, nrows)
 	filters := sc.filters[:nrows]
@@ -672,7 +681,12 @@ func prepareGroupInto(ctx *groupCtx, cfg arch.Config, lw *nn.Lowered, ct *costTa
 	// rowPlanes are rebuilt wholesale (reused dirty); the |=-built gated
 	// masks and +=-folded PE totals are zeroed at carve.
 	ctx.gate = cfg.HasFrontEnd()
-	b := groupBufsPool.Get().(*groupBufs)
+	var b *groupBufs
+	if ws != nil {
+		b = ws.getBufs()
+	} else {
+		b = groupBufsPool.Get().(*groupBufs)
+	}
 	ctx.bufs = b
 	b.refs = grow(b.refs, cols*nrows*lanes)
 	ctx.refs = b.refs[:cols*nrows*lanes]
@@ -823,14 +837,16 @@ func (ctx *groupCtx) evalWindows(cfg arch.Config, lw *nn.Lowered, ct *costTable,
 // fold order over chunks never matters: peTotals merge by element-wise
 // addition and the census fields are sums, so the max/sync pass below sees
 // exactly the accumulators the serial single-chunk walk would have built.
-func finishGroup(cfg arch.Config, ctx *groupCtx, partials []windowPartial) groupResult {
+// The group's buffers return to the finishing worker's freelist (ws may be
+// nil on test paths, which fall back to the shared pool).
+func finishGroup(cfg arch.Config, ctx *groupCtx, partials []windowPartial, ws *workerState) groupResult {
 	r := ctx.base
 	if !ctx.needsWindows {
-		ctx.release()
+		ctx.releaseTo(ws)
 		return r
 	}
 	lanes, rows, wg := cfg.Lanes, cfg.FiltersPerTile, cfg.WindowsPerTile
-	defer ctx.release()
+	defer ctx.releaseTo(ws)
 	// Fold destructively into chunk 0's stride: the strides are disjoint
 	// views of the group's arena, and nothing reads a chunk partial after
 	// the fold.

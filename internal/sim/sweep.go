@@ -41,6 +41,39 @@ func SimulateSweepContext(ctx context.Context, cfgs []arch.Config, m *nn.Model, 
 	return out, nil
 }
 
+// SimulateLoweredSweepContext is the pre-lowered batch entry: cell k runs
+// config cfgs[k] over exactly the lowered layers lwss[k], all flattened
+// into one engine invocation on one worker pool. Unlike
+// SimulateSweepContext the cells need not share a model — this is how a
+// whole figure (every config × every zoo model) becomes one pool run
+// instead of hundreds, which is what lets the experiment drivers hit the
+// engine's zero-alloc steady state. Each cell's layer results are
+// bit-identical to a standalone run of that (config, layers) pair at any
+// Parallelism.
+//
+// Every lowered layer must have been lowered at its config's lane count;
+// a mismatch returns an error. Cancellation matches SimulateModelContext.
+func SimulateLoweredSweepContext(ctx context.Context, cfgs []arch.Config, lwss [][]*nn.Lowered, opts Options) ([][]LayerResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(cfgs) != len(lwss) {
+		return nil, fmt.Errorf("sim: %d configs against %d layer lists", len(cfgs), len(lwss))
+	}
+	for k, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		for _, lw := range lwss[k] {
+			if lw.Lanes != cfg.Lanes {
+				return nil, fmt.Errorf("sim: config %q has %d lanes but layer %q was lowered at %d",
+					cfg.Name, cfg.Lanes, lw.Name, lw.Lanes)
+			}
+		}
+	}
+	return simulateSweep(ctx, cfgs, lwss, opts)
+}
+
 // SimulateGridContext runs an arbitrary rectangle of the (config, layer)
 // design-space grid: every config in cfgs against exactly the model layers
 // named by layerIdx (indices into the lowered layer list, any order,
