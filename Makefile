@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check lint-backend serve-smoke shard-smoke bench bench-gate bench-contention cache-stress bench-sim bench-sched bench-kernel bench-serve fuzz-sched fuzz-kernel fmt clean
+.PHONY: all build vet test race check lint-backend lint-workload serve-smoke shard-smoke bench bench-gate bench-contention cache-stress bench-sim bench-sched bench-kernel bench-serve fuzz-sched fuzz-kernel fmt clean
 
 all: check
 
@@ -20,7 +20,7 @@ race:
 # the full suite under the race detector (the parallel engine is on by
 # default, so every test doubles as a race test), and hold the committed
 # benchmark baselines.
-check: build vet lint-backend race bench-gate
+check: build vet lint-backend lint-workload race bench-gate
 
 # The benchmark regression gate: re-measure the kernel, scheduler, engine,
 # and serving suites and compare against the committed BENCH_*.json baselines.
@@ -56,6 +56,20 @@ lint-backend:
 		internal cmd examples *.go 2>/dev/null); \
 	if [ -n "$$bad" ]; then \
 		echo "back-end dispatch outside internal/backend (use backend.Backend methods):"; \
+		echo "$$bad"; exit 1; \
+	fi
+
+# Guard the workload seam: model resolution lives behind the internal/nn
+# registry (nn.Register / nn.Lookup). A switch or if-chain arm on a model
+# name outside that package reintroduces the hard-coded zoo dispatch the
+# registry removed, and breaks externally registered workloads like
+# internal/workloads/attention.
+lint-workload:
+	@bad=$$(grep -rn -E '(case|==) "(AlexNet|GoogLeNet|ResNet50|MobileNet|Bi-LSTM|BERT-Attn|GPT2-Attn|ViT-Attn|ConvNeXt-DW)' \
+		--include='*.go' --exclude-dir=nn \
+		internal cmd examples *.go 2>/dev/null); \
+	if [ -n "$$bad" ]; then \
+		echo "model-name dispatch outside internal/nn (use nn.Register/nn.Lookup):"; \
 		echo "$$bad"; exit 1; \
 	fi
 

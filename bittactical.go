@@ -30,6 +30,7 @@ import (
 	"bittactical/internal/sched"
 	"bittactical/internal/sim"
 	"bittactical/internal/tensor"
+	_ "bittactical/internal/workloads/attention" // register the transformer-era workload zoo
 )
 
 // ---- model zoo ----
@@ -46,7 +47,13 @@ func DefaultZoo() ZooConfig { return nn.DefaultZoo() }
 // ModelNames lists the paper's seven evaluation networks.
 func ModelNames() []string { return append([]string(nil), nn.ModelNames...) }
 
-// BuildModel instantiates one of the paper's networks by name.
+// Models lists every registered workload, sorted: the paper's seven plus
+// any zoo registered via an nn.Register init — this package links the
+// transformer-era attention workloads (internal/workloads/attention).
+func Models() []string { return nn.Names() }
+
+// BuildModel instantiates any registered workload by name
+// (case-insensitive; see Models).
 func BuildModel(name string, cfg ZooConfig) (*Model, error) { return nn.BuildModel(name, cfg) }
 
 // ---- front-end connectivity & scheduling ----

@@ -23,6 +23,8 @@ import (
 	"bittactical/internal/nn"
 	"bittactical/internal/sched"
 	"bittactical/internal/wsformat"
+
+	_ "bittactical/internal/workloads/attention" // register the transformer-era zoo
 )
 
 func main() {

@@ -10,6 +10,7 @@
 //	                   add "stream": true for NDJSON per-layer streaming
 //	POST /v1/schedule  {"model":"MobileNet","pattern":"T8<2,5>"}
 //	POST /v1/shard     coordinator-to-worker leg of shard mode
+//	GET  /v1/models    registered workload names (JSON)
 //	GET  /healthz      liveness probe
 //	GET  /metrics      engine + service counters (JSON)
 //
@@ -47,6 +48,7 @@ import (
 	"time"
 
 	"bittactical/internal/serve"
+	_ "bittactical/internal/workloads/attention" // register the transformer-era workload zoo
 )
 
 func main() {

@@ -10,7 +10,8 @@
 //	tclsim -exp all -schedstats       # report schedule-cache effectiveness
 //	tclsim -backend dstripes-sm       # ad-hoc sweep of one registered back-end
 //	tclsim -backend dstripes-sm -models AlexNet-ES,GoogLeNet-ES
-//	tclsim -list                      # experiment ids and back-end names
+//	tclsim -exp attn-fig8 -batch 4    # transformer-era zoo at batch 4
+//	tclsim -list                      # experiment ids, back-end and model names
 package main
 
 import (
@@ -40,6 +41,7 @@ func main() {
 		cscale  = flag.Float64("cscale", 0.25, "channel scale of the model zoo")
 		sscale  = flag.Float64("sscale", 0.5, "spatial scale of the model zoo")
 		seed    = flag.Int64("seed", 1, "weight seed")
+		batch   = flag.Int("batch", 1, "sequence batch size (FC token windows multiply)")
 		aseed   = flag.Int64("actseed", 7, "activation seed")
 		trials  = flag.Int("trials", 100, "filters per point for fig11")
 		par     = flag.Int("j", 0, "worker parallelism (0 = GOMAXPROCS)")
@@ -58,6 +60,7 @@ func main() {
 			fmt.Println(id)
 		}
 		fmt.Println("back-ends (for -backend):", strings.Join(backend.Names(), ", "))
+		fmt.Println("models (for -models):", strings.Join(nn.Names(), ", "))
 		return
 	}
 
@@ -74,6 +77,7 @@ func main() {
 
 	zoo := nn.DefaultZoo()
 	zoo.ChannelScale, zoo.SpatialScale, zoo.Seed = *cscale, *sscale, *seed
+	zoo.Batch = *batch
 	opts := experiments.Options{Zoo: zoo, ActSeed: *aseed, Trials: *trials, Parallelism: *par}
 	if *models != "" {
 		opts.Models = strings.Split(*models, ",")

@@ -1,11 +1,16 @@
 // Command tclzoo prints the instantiated model zoo: per-network layer
 // geometry, MAC counts, weight sparsity, and activation statistics — the
-// workload inventory behind every experiment.
+// workload inventory behind every experiment. Models resolve through the
+// process-wide workload registry, so externally registered zoos (the
+// transformer-era attention workloads) are addressable alongside the
+// paper's seven.
 //
 // Usage:
 //
-//	tclzoo                      # summary of all seven networks
-//	tclzoo -model ResNet50-SS -layers
+//	tclzoo                      # summary of the paper's seven networks
+//	tclzoo -list                # every registered model name
+//	tclzoo -all                 # summary of every registered model
+//	tclzoo -model BERT-Attn -layers -batch 4
 //	tclzoo -cscale 1 -sscale 1  # native-scale shapes
 package main
 
@@ -19,27 +24,44 @@ import (
 	"bittactical/internal/fixed"
 	"bittactical/internal/nn"
 	"bittactical/internal/potential"
+	"bittactical/internal/sparsity"
+	_ "bittactical/internal/workloads/attention" // register the transformer-era zoo
 )
 
 func main() {
 	var (
-		model  = flag.String("model", "", "single model (default: all)")
+		model  = flag.String("model", "", "single model (default: the paper's seven)")
+		list   = flag.Bool("list", false, "print every registered model name and exit")
+		all    = flag.Bool("all", false, "summarize every registered model")
 		layers = flag.Bool("layers", false, "print per-layer geometry")
 		cscale = flag.Float64("cscale", 0.25, "channel scale")
 		sscale = flag.Float64("sscale", 0.5, "spatial scale")
 		seed   = flag.Int64("seed", 1, "weight seed")
+		batch  = flag.Int("batch", 1, "sequence batch size (FC token windows multiply)")
 		w8     = flag.Bool("w8", false, "8-bit quantized zoo")
 		pot    = flag.Bool("potential", false, "print Table-1 potentials per model")
+		planes = flag.Bool("planes", false, "print the per-bit-plane activation zero fractions")
 		par    = flag.Int("j", 0, "model-build parallelism (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
+	if *list {
+		for _, n := range nn.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+
 	cfg := nn.DefaultZoo()
 	cfg.ChannelScale, cfg.SpatialScale, cfg.Seed = *cscale, *sscale, *seed
+	cfg.Batch = *batch
 	if *w8 {
 		cfg.Width = fixed.W8
 	}
 	names := nn.ModelNames
+	if *all {
+		names = nn.Names()
+	}
 	if *model != "" {
 		names = []string{*model}
 	}
@@ -86,6 +108,19 @@ func main() {
 				os.Exit(1)
 			}
 			fmt.Println("  " + potential.FormatRow("potential:", tal.Potentials()))
+		}
+		if *planes {
+			var p sparsity.SliceProfile
+			for _, t := range m.GenerateActs(7) {
+				p.AddTensor(t)
+			}
+			fmt.Printf("  act planes (zero frac, value=%.3f bit=%.3f neg=%.3f):",
+				p.ValueSparsity(), p.BitSparsity(),
+				float64(p.NegValues)/float64(p.Values))
+			for i := 0; i < sparsity.BitPlanes; i++ {
+				fmt.Printf(" %d:%.2f", i, p.PlaneSparsity(i))
+			}
+			fmt.Println()
 		}
 	}
 }

@@ -55,7 +55,7 @@ func RunSim(logf Logf, opts RunOpts) (*File, error) {
 	f := NewFile("zoo channel scale 0.125, spatial scale 0.35, 25 trials; steady state (adaptive warmup, caches warm, GC pinned)")
 	concurrent := hostConcurrent()
 	serial := map[string]Record{}
-	for _, id := range []string{"fig8a", "fig8b", "fig11a", "fig11b"} {
+	for _, id := range []string{"fig8a", "fig8b", "fig11a", "fig11b", "attn-fig8"} {
 		if experiments.Registry[id] == nil {
 			return nil, fmt.Errorf("bench: unknown experiment %q", id)
 		}

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"bittactical/internal/nn"
+	"bittactical/internal/workloads/attention"
+)
+
+// attnQuick sizes the transformer-era runners for unit tests: the smallest
+// zoo instantiation, two workloads covering both new activation laws
+// (BERT-Attn: GELU + softmax rows; ConvNeXt-DW: depthwise/group convs).
+func attnQuick() Options {
+	z := nn.DefaultZoo()
+	z.ChannelScale, z.SpatialScale = 0.1, 0.25
+	return Options{Zoo: z, Models: []string{"BERT-Attn", "ConvNeXt-DW"}, Trials: 5}
+}
+
+func parseSpeedup(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+	if err != nil {
+		t.Fatalf("cell %q is not a speedup: %v", cell, err)
+	}
+	return v
+}
+
+// TestAttnTable1 runs the Table-1 analog end-to-end over the externally
+// registered zoo: a row per workload plus the geomean, every potential > 1
+// (the workloads carry both value and bit sparsity worth exploiting).
+func TestAttnTable1(t *testing.T) {
+	tab, err := AttnTable1(attnQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.ID != "attn-table1" {
+		t.Errorf("ID = %q", tab.ID)
+	}
+	if len(tab.Rows) != 3 {
+		t.Fatalf("got %d rows, want 2 workloads + geomean", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		for _, cell := range row[1:] {
+			if v := parseSpeedup(t, cell); v <= 1 {
+				t.Errorf("%s: potential %q <= 1", row[0], cell)
+			}
+		}
+	}
+}
+
+// TestAttnFig8 runs the Figure-8b analog: every back-end config beats the
+// dense baseline on the attention workloads, and TCLe (effectual terms)
+// beats TCLp (dynamic precision) at the same front-end — softmax rows and
+// the GELU negative lobe are exactly the bit-sparse regime.
+func TestAttnFig8(t *testing.T) {
+	tab, err := AttnFig8(attnQuick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("empty sweep")
+	}
+	geo := map[string]float64{}
+	for _, row := range tab.Rows {
+		last := row[len(row)-1]
+		if v := parseSpeedup(t, last); v <= 1 {
+			t.Errorf("config %q geomean %q <= 1", row[0], last)
+		} else {
+			geo[row[0]] = v
+		}
+	}
+	var tclp, tcle float64
+	for label, v := range geo {
+		switch {
+		case strings.HasPrefix(label, "TCLp"):
+			tclp = v
+		case strings.HasPrefix(label, "TCLe"):
+			tcle = v
+		}
+	}
+	if tclp == 0 || tcle == 0 {
+		t.Fatalf("sweep rows missing TCLp/TCLe labels: %v", geo)
+	}
+	if tcle <= tclp {
+		t.Errorf("TCLe geomean %.2f <= TCLp %.2f; effectual terms should win on attention", tcle, tclp)
+	}
+}
+
+// TestAttnBatch pins the batch knob's semantics: MACs scale linearly with
+// batch (every layer in the attention stack is a batch-scaled FC), and the
+// speedups stay > 1 at every batch size.
+func TestAttnBatch(t *testing.T) {
+	o := attnQuick()
+	o.Models = []string{"BERT-Attn"}
+	tab, err := AttnBatch(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != len(attnBatchSizes) {
+		t.Fatalf("got %d rows, want %d batch sizes", len(tab.Rows), len(attnBatchSizes))
+	}
+	var macs1 int64
+	for i, row := range tab.Rows {
+		b, err := strconv.Atoi(row[0])
+		if err != nil || b != attnBatchSizes[i] {
+			t.Fatalf("row %d batch = %q, want %d", i, row[0], attnBatchSizes[i])
+		}
+		m, err := strconv.ParseInt(row[1], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			macs1 = m
+		} else if m != macs1*int64(b) {
+			t.Errorf("batch %d MACs = %d, want %d× batch-1's %d", b, m, b, macs1)
+		}
+		for _, cell := range row[2:] {
+			if v := parseSpeedup(t, cell); v <= 1 {
+				t.Errorf("batch %d speedup %q <= 1", b, cell)
+			}
+		}
+	}
+}
+
+// TestAttentionZooRegistered: the blank-import seam holds — every
+// transformer-era workload resolves through the registry and builds at the
+// test scale with layers of both kinds the machinery must lower.
+func TestAttentionZooRegistered(t *testing.T) {
+	z := nn.DefaultZoo()
+	z.ChannelScale, z.SpatialScale = 0.1, 0.25
+	for _, name := range attention.ModelNames {
+		m, err := nn.BuildModel(name, z)
+		if err != nil {
+			t.Fatalf("BuildModel(%q): %v", name, err)
+		}
+		if len(m.Layers) == 0 || m.TotalMACs() == 0 {
+			t.Errorf("%s: empty model", name)
+		}
+		if m.WeightSparsity() == 0 {
+			t.Errorf("%s: weights not pruned", name)
+		}
+		if m.Act == nil {
+			t.Errorf("%s: no activation law", name)
+		}
+	}
+}

@@ -333,6 +333,9 @@ var Registry = map[string]func(Options) (*Table, error){
 	"fig12":    Fig12,
 	"fig13":    Fig13,
 	// Extensions beyond the paper's figures.
+	"attn-table1":    AttnTable1,
+	"attn-fig8":      AttnFig8,
+	"attn-batch":     AttnBatch,
 	"backends-ext":   BackendsExt,
 	"baselines-ext":  ExtendedBaselines,
 	"ss-coverage":    SSCoverage,

@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+
+	"bittactical/internal/fixed"
+	"bittactical/internal/nn"
+)
+
+// figureGolden pins every figure output of the legacy zoo bit-identical
+// through workload-path refactors: one SHA-256 per (experiment, width) over
+// the rendered table, run at a small deterministic scale with all seven
+// models. Captured against the pre-registry zooEntry switch; the registry
+// path must render byte-identical tables.
+//
+// Regenerate (after an intentional result change only) with:
+//
+//	TCL_FIG_GOLDEN_PRINT=1 go test ./internal/experiments -run TestFigureGolden -v
+var figureGolden = map[string]string{
+	"ablation-sched/w16": "0d994ca841048f44b602e8cac75e7f059fcf9f8cdc53125aa283d3d32f9fde17",
+	"ablation-sched/w8":  "0d994ca841048f44b602e8cac75e7f059fcf9f8cdc53125aa283d3d32f9fde17",
+	"ablation-sync/w16":  "cc1c90345545a10320184f75f62ae17e860e4c47fc044ab24b860b4dfb7123aa",
+	"ablation-sync/w8":   "6d993868df61b767dadcea400e0d633ff8445741685632f98e27811cd2ca4bf0",
+	"backends-ext/w16":   "3c06e3bdf8eb9fcc267d54a0b4eed332efd637570a345e5269d98a3131fe08fd",
+	"backends-ext/w8":    "dfccf5cb4b77af4f99c9929542fc09bc33809a5defba661c4cd726106fd6f1dc",
+	"baselines-ext/w16":  "8c45a13cef7b416b85393c8ce42cbcfd540a0234234047e9a78902d91250da63",
+	"baselines-ext/w8":   "44adcde958c5b2a043a9c0c64601aeefd7284fb06283258c475653230f4e4d1d",
+	"dataflow/w16":       "c95356d4c2b47e7a9e637b1227e6f897918544c81abab79d0424dd3e22f4fab1",
+	"dataflow/w8":        "c95356d4c2b47e7a9e637b1227e6f897918544c81abab79d0424dd3e22f4fab1",
+	"fig10/w16":          "f27751d95384c2b16e553ac81fa30a86139f2a0e424c57611a5e2bbb3c725ab4",
+	"fig10/w8":           "00d127e7e01fac6c39b74e95734f44f949474fd93fddcfc831834356818fbffd",
+	"fig11a/w16":         "e90cd57d90e410be25bd4faddb9bae7e07da5015b19a5ed6eb57424d90d4e532",
+	"fig11a/w8":          "e90cd57d90e410be25bd4faddb9bae7e07da5015b19a5ed6eb57424d90d4e532",
+	"fig11b/w16":         "046970b7a2896d5496dedad454757f53a668dd5760b3fa5deb2b87ac5cd3c891",
+	"fig11b/w8":          "046970b7a2896d5496dedad454757f53a668dd5760b3fa5deb2b87ac5cd3c891",
+	"fig12/w16":          "7c47c4f28f956da1a6584e67c9e797fdb92880b2fcd2bb1bc9a087651d3bd9ef",
+	"fig12/w8":           "c0db7f24a1719c6cb6c6edaac1e6299aa516cd337dec6ed0c1dd1e70f34fdcdb",
+	"fig13/w16":          "72b1e5800ccc9bde1750001ec61520a4becb086aae028d1775029472a0e9b5a8",
+	"fig13/w8":           "72b1e5800ccc9bde1750001ec61520a4becb086aae028d1775029472a0e9b5a8",
+	"fig8a/w16":          "7adb529cd6b2289500c7198b9716e5ebae156a03aabd11b459be562cb660f8cb",
+	"fig8a/w8":           "7adb529cd6b2289500c7198b9716e5ebae156a03aabd11b459be562cb660f8cb",
+	"fig8b/w16":          "13840b79414d1ade24753b092358dd714819e02397bc94f1d50c2e0a18dbb4ff",
+	"fig8b/w8":           "87be4028d1c7d510fa956697c623232fe28640e700704ff750be4388bbee46a0",
+	"fig8c/w16":          "64a788e41035312b7fbc1660dac66a243e7f80bb55ad79d5696d3981dda75b05",
+	"fig8c/w8":           "46587e956c708bebfc8d9b720422c423f7c62895bbb2e2d6a75aacf8850ed76c",
+	"fig9/w16":           "67af36107d351c44271529e088a0c1548b252dbaece6e544d7b55ccbbab44ed6",
+	"fig9/w8":            "3efe105bbd0661210507c58b4508acd1194fa4ad089860e4a4219d683c252c15",
+	"ss-coverage/w16":    "666f419e943b94f94dae8180ba3791e1de9fb037799a38b8682562be050e1646",
+	"ss-coverage/w8":     "666f419e943b94f94dae8180ba3791e1de9fb037799a38b8682562be050e1646",
+	"structured/w16":     "f6a7a97fbcf2d69b1b2569bfd37a731bf8036d8083d03074135c31dc04189eb0",
+	"structured/w8":      "f6a7a97fbcf2d69b1b2569bfd37a731bf8036d8083d03074135c31dc04189eb0",
+	"table1/w16":         "19efed2ac032efe91eaf7a69c9c78e2d19c8355b9c0c8f671290fd2a6983d47a",
+	"table1/w8":          "19efed2ac032efe91eaf7a69c9c78e2d19c8355b9c0c8f671290fd2a6983d47a",
+	"table1q8/w16":       "ff1c42cbe9da4294ee33323a774304a7bc123e853a0fa845ff1ab11fe5729ed4",
+	"table1q8/w8":        "ff1c42cbe9da4294ee33323a774304a7bc123e853a0fa845ff1ab11fe5729ed4",
+}
+
+// goldenOptions is the deterministic small-scale harness the goldens were
+// captured at: all seven networks, 0.1/0.25 zoo scale, 3 fig11 trials.
+func goldenOptions(w fixed.Width) Options {
+	z := nn.DefaultZoo()
+	z.ChannelScale, z.SpatialScale = 0.1, 0.25
+	z.Width = w
+	return Options{Zoo: z, Trials: 3}
+}
+
+func TestFigureGolden(t *testing.T) {
+	printMode := os.Getenv("TCL_FIG_GOLDEN_PRINT") == "1"
+	// Every registry experiment that consumes the zoo, at both widths. The
+	// width-specific ids (table1q8, fig13) bake their widths in; running
+	// them under the W8 harness double-covers the quantized path, which is
+	// exactly the point.
+	type run struct {
+		id string
+		w  fixed.Width
+	}
+	var runs []run
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		switch id {
+		case "table2", "table3":
+			continue // static tables, no zoo input
+		case "attn-table1", "attn-fig8", "attn-batch":
+			continue // transformer-era analogs postdate the goldens
+		}
+		runs = append(runs, run{id, fixed.W16})
+		runs = append(runs, run{id, fixed.W8})
+	}
+	for _, r := range runs {
+		key := fmt.Sprintf("%s/w%d", r.id, r.w)
+		tab, err := Registry[r.id](goldenOptions(r.w))
+		if err != nil {
+			t.Fatalf("%s: %v", key, err)
+		}
+		sum := sha256.Sum256([]byte(tab.Render()))
+		got := hex.EncodeToString(sum[:])
+		if printMode {
+			fmt.Printf("\t%q: %q,\n", key, got)
+			continue
+		}
+		want, ok := figureGolden[key]
+		if !ok {
+			t.Errorf("%s: no golden hash recorded", key)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s: render hash %s, golden %s — figure output changed through the workload path", key, got, want)
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package nn_test
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"testing"
+
+	"bittactical/internal/fixed"
+	"bittactical/internal/nn"
+	"bittactical/internal/tensor"
+)
+
+// zooGolden pins every legacy zoo model bit-identical across refactors of
+// the build path: one SHA-256 per (model, width) over the fully-resolved
+// layer geometry, the pruned weight codes, and the synthesized activation
+// tensors. The hashes were captured from the pre-registry zooEntry switch;
+// the registry path must reproduce them exactly (weights AND acts), which
+// in turn pins every figure output — each experiment is a deterministic
+// function of exactly these tensors.
+//
+// Regenerate (after an intentional distribution change only) with:
+//
+//	TCL_ZOO_GOLDEN_PRINT=1 go test ./internal/nn -run TestZooGolden -v
+var zooGolden = map[string]string{
+	"AlexNet-ES/w16":   "1e4efb0879886395036ffb800efea249c25091cb373f705107c7007ce96889fb",
+	"AlexNet-SS/w16":   "f1d08fa1ea551890b304a27addb352702a54f83d04d82fb8075c3ce733f4adeb",
+	"GoogLeNet-ES/w16": "74b5976bda77ca0a44904ad6df2bc2f392da57b10d1154f957e8704660fc2324",
+	"GoogLeNet-SS/w16": "30765b461fe987d62fca89b42f66bf3031bdb67a4f3825fa6e60f28c694ee522",
+	"ResNet50-SS/w16":  "b013fc7cd119ad84fd42fd7ef6d87ceb14751535c81331a7f897980f79db6d17",
+	"MobileNet/w16":    "030e962617cab18e2e4ac40ad5bdf79b1c07071519f8b9e60c681220f9e8250c",
+	"Bi-LSTM/w16":      "04f890359ba673f4a200bedaa952f6e93a34f0023c1f2427148c2638f03c5adb",
+	"AlexNet-ES/w8":    "91909195f3f2710f4e43fbf4efbc2763b43031c8f60f9584f8fa585b6caa59e5",
+	"AlexNet-SS/w8":    "f44ffa94bca5ce26978fd7a0bcf7157caa5445fd7a63569e20a9095b42f0c49e",
+	"GoogLeNet-ES/w8":  "289e53ae0dd524f6d100bc1b68c97f74fddf06dd2a6170cf363054ac38c114c9",
+	"GoogLeNet-SS/w8":  "3771f2e7e5a0cbda3489b2843f1d088d3031c2d0405b55e40541a4d294fa309d",
+	"ResNet50-SS/w8":   "9b7717f848ec2e491060e8ae3075d4004e02ac31efae3b1f1a1b72ed9bbf267b",
+	"MobileNet/w8":     "f141bffae5e6aa4444dedf7ac6816e898c6c0e8f6d2046d539beb128e6f8ad59",
+	"Bi-LSTM/w8":       "179d68d5e17db28936662f331494d86b3524b77e80a5dbd4ec87f261589954a1",
+}
+
+func hashTensor(h interface{ Write(p []byte) (int, error) }, t *tensor.T) {
+	var buf [4]byte
+	for _, d := range t.Shape {
+		binary.LittleEndian.PutUint32(buf[:], uint32(d))
+		h.Write(buf[:])
+	}
+	for _, v := range t.Data {
+		binary.LittleEndian.PutUint32(buf[:], uint32(v))
+		h.Write(buf[:])
+	}
+}
+
+// zooModelHash digests everything a figure runner consumes from a built
+// workload: per-layer geometry, weight codes, and the activation tensors.
+func zooModelHash(m *nn.Model, actSeed int64) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s w=%d layers=%d\n", m.Name, m.Width, len(m.Layers))
+	for _, l := range m.Layers {
+		fmt.Fprintf(h, "%s kind=%d K=%d C=%d R=%d S=%d st=%d pad=%d g=%d in=%dx%d ts=%d wf=%d af=%d\n",
+			l.Name, l.Kind, l.K, l.C, l.R, l.S, l.Stride, l.Pad, l.Groups,
+			l.InH, l.InW, l.Timesteps, l.WFrac, l.AFrac)
+		if l.Weights != nil {
+			hashTensor(h, l.Weights)
+		}
+	}
+	for _, t := range m.GenerateActs(actSeed) {
+		hashTensor(h, t)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func TestZooGolden(t *testing.T) {
+	printMode := os.Getenv("TCL_ZOO_GOLDEN_PRINT") == "1"
+	for _, width := range []fixed.Width{fixed.W16, fixed.W8} {
+		cfg := nn.DefaultZoo()
+		cfg.Width = width
+		for _, name := range nn.ModelNames {
+			m, err := nn.BuildModel(name, cfg)
+			if err != nil {
+				t.Fatalf("BuildModel(%s, w%d): %v", name, width, err)
+			}
+			key := fmt.Sprintf("%s/w%d", name, width)
+			got := zooModelHash(m, 7)
+			if printMode {
+				fmt.Printf("\t%q: %q,\n", key, got)
+				continue
+			}
+			want, ok := zooGolden[key]
+			if !ok {
+				t.Errorf("%s: no golden hash recorded", key)
+				continue
+			}
+			if got != want {
+				t.Errorf("%s: model+acts hash %s, golden %s — the registry path no longer reproduces the legacy zoo bit-identically", key, got, want)
+			}
+		}
+	}
+}

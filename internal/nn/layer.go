@@ -8,6 +8,7 @@ package nn
 import (
 	"fmt"
 
+	"bittactical/internal/sparsity"
 	"bittactical/internal/tensor"
 )
 
@@ -81,6 +82,12 @@ type Layer struct {
 	// WFrac and AFrac are the fractional-bit counts of the weight codes and
 	// of this layer's *input* activation codes.
 	WFrac, AFrac int
+
+	// Act overrides the model-default activation distribution for this
+	// layer's *input* tensor (nil = use Model.Act). Attention workloads use
+	// it to feed softmax-shaped probability rows into attention×V layers
+	// while the rest of the block sees the model's GELU-shaped law.
+	Act sparsity.ActivationModel
 }
 
 // OutDims returns the output spatial dimensions.

@@ -23,7 +23,8 @@ type Model struct {
 	Layers []*Layer
 	// Act is the calibrated per-network input-activation distribution
 	// (DESIGN.md §2 substitution for real IMAGENET/speech activations).
-	Act sparsity.ActModel
+	// Individual layers may override it via Layer.Act.
+	Act sparsity.ActivationModel
 	// TargetWeightSparsity is the aggregate pruning level the zoo aimed for.
 	TargetWeightSparsity float64
 }
@@ -75,7 +76,11 @@ func (m *Model) GenerateActs(seed int64) []*tensor.T {
 		default:
 			t = tensor.New(1, l.C, l.InH, l.InW)
 		}
-		m.Act.FillTensor(rng, t, fixed.W16)
+		law := m.Act
+		if l.Act != nil {
+			law = l.Act
+		}
+		law.FillTensor(rng, t, fixed.W16)
 		if m.Width == fixed.W8 {
 			t = sparsity.Requantize8(t)
 		}

@@ -1,0 +1,89 @@
+package nn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"bittactical/internal/sparsity"
+)
+
+// Entry is one registered workload: a geometry builder plus the sparsity
+// profile BuildModel applies to it. Builders return geometry only — weight
+// synthesis, pruning to WeightSparsity, and 8-bit requantization are
+// BuildModel's job, so an externally registered workload (a package under
+// internal/workloads, a test) gets the zoo's full deterministic pipeline by
+// supplying nothing but shapes and a distribution.
+type Entry struct {
+	// Name is the display name models are addressed by (case-insensitive
+	// on lookup, preserved in output).
+	Name string
+	// Build returns the layer geometry for one zoo configuration. Builders
+	// may set per-layer activation overrides (Layer.Act); everything else
+	// on the returned model is overwritten by BuildModel.
+	Build func(ZooConfig) *Model
+	// WeightSparsity is the aggregate reuse-weighted pruning target.
+	WeightSparsity float64
+	// Act is the model-default activation distribution.
+	Act sparsity.ActivationModel
+}
+
+// The process-wide workload registry, the model-side twin of
+// internal/backend's registry: the seven paper networks register from this
+// package's init, transformer-era workloads from internal/workloads/*, and
+// tests may register late under the mutex.
+var (
+	workloadMu       sync.RWMutex
+	workloadRegistry = make(map[string]Entry) // keyed by lowercased name
+)
+
+// Register adds a workload to the process-wide registry. It panics on an
+// empty name, a nil builder or activation model, or a duplicate
+// (case-insensitive) registration — all programming errors a process must
+// fail loudly on at init, not race to win.
+func Register(e Entry) {
+	if e.Name == "" {
+		panic("nn: Register with empty name")
+	}
+	if e.Build == nil {
+		panic(fmt.Sprintf("nn: Register(%q) with nil builder", e.Name))
+	}
+	if e.Act == nil {
+		panic(fmt.Sprintf("nn: Register(%q) with nil activation model", e.Name))
+	}
+	key := strings.ToLower(e.Name)
+	workloadMu.Lock()
+	defer workloadMu.Unlock()
+	if prev, ok := workloadRegistry[key]; ok {
+		panic(fmt.Sprintf("nn: duplicate registration of %q (already registered as %q)", e.Name, prev.Name))
+	}
+	workloadRegistry[key] = e
+}
+
+// Lookup resolves a registered workload by name, case-insensitively. A miss
+// returns an error listing every registered name.
+func Lookup(name string) (Entry, error) {
+	workloadMu.RLock()
+	e, ok := workloadRegistry[strings.ToLower(name)]
+	workloadMu.RUnlock()
+	if !ok {
+		return Entry{}, fmt.Errorf("nn: unknown model %q (registered: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return e, nil
+}
+
+// Names returns the display names of every registered workload, sorted.
+// ModelNames remains the paper's seven in the paper's order; Names is the
+// full set including externally registered zoos.
+func Names() []string {
+	workloadMu.RLock()
+	out := make([]string, 0, len(workloadRegistry))
+	for _, e := range workloadRegistry {
+		out = append(out, e.Name)
+	}
+	workloadMu.RUnlock()
+	sort.Strings(out)
+	return out
+}

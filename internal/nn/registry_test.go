@@ -1,0 +1,117 @@
+package nn
+
+import (
+	"strings"
+	"testing"
+
+	"bittactical/internal/sparsity"
+)
+
+func testEntry(name string) Entry {
+	return Entry{
+		Name: name,
+		Build: func(cfg ZooConfig) *Model {
+			m := &Model{}
+			m.Layers = append(m.Layers, &Layer{Name: "fc", Kind: FC, K: 4, C: 8, R: 1, S: 1, InH: 1, InW: 1, Stride: 1})
+			return m
+		},
+		WeightSparsity: 0.5,
+		Act:            sparsity.ActModel{ZeroFrac: 0.4, MeanLog2: 10, SigmaLog2: 2, SigBits: 5},
+	}
+}
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("no panic, want one mentioning %q", want)
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, want) {
+			t.Fatalf("panic %v, want one mentioning %q", r, want)
+		}
+	}()
+	fn()
+}
+
+func TestRegisterValidation(t *testing.T) {
+	mustPanic(t, "empty name", func() { Register(testEntry("")) })
+	e := testEntry("Reg-NilBuild")
+	e.Build = nil
+	mustPanic(t, "nil builder", func() { Register(e) })
+	e = testEntry("Reg-NilAct")
+	e.Act = nil
+	mustPanic(t, "nil activation model", func() { Register(e) })
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	Register(testEntry("Reg-Dup"))
+	// The collision is case-insensitive: a different spelling of a taken
+	// name must still fail loudly.
+	mustPanic(t, "duplicate registration", func() { Register(testEntry("reg-dup")) })
+}
+
+func TestLookupCaseInsensitive(t *testing.T) {
+	Register(testEntry("Reg-Case"))
+	for _, name := range []string{"Reg-Case", "reg-case", "REG-CASE"} {
+		e, err := Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if e.Name != "Reg-Case" {
+			t.Errorf("Lookup(%q).Name = %q, want the registered spelling Reg-Case", name, e.Name)
+		}
+	}
+	// BuildModel resolves through the same path and applies the entry's
+	// profile: display name, sparsity target, and activation law.
+	m, err := BuildModel("reg-case", DefaultZoo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "Reg-Case" {
+		t.Errorf("BuildModel name = %q, want Reg-Case", m.Name)
+	}
+	if m.TargetWeightSparsity != 0.5 {
+		t.Errorf("TargetWeightSparsity = %v, want the entry's 0.5", m.TargetWeightSparsity)
+	}
+	if m.Act == nil || m.Act.Name() != "relu-lognormal" {
+		t.Errorf("model act = %v, want the entry's relu-lognormal law", m.Act)
+	}
+}
+
+func TestLookupMissListsNames(t *testing.T) {
+	_, err := Lookup("No-Such-Net")
+	if err == nil {
+		t.Fatal("Lookup of an unknown model succeeded")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"No-Such-Net"`) {
+		t.Errorf("miss error does not echo the name: %s", msg)
+	}
+	for _, name := range ModelNames {
+		if !strings.Contains(msg, name) {
+			t.Errorf("miss error does not list registered model %q: %s", name, msg)
+		}
+	}
+}
+
+func TestNamesSortedAndComplete(t *testing.T) {
+	names := Names()
+	if len(names) < len(ModelNames) {
+		t.Fatalf("Names() = %v, shorter than the paper zoo", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Names() not strictly sorted at %d: %q >= %q", i, names[i-1], names[i])
+		}
+	}
+	got := make(map[string]bool, len(names))
+	for _, n := range names {
+		got[n] = true
+	}
+	for _, n := range ModelNames {
+		if !got[n] {
+			t.Errorf("paper model %q missing from Names()", n)
+		}
+	}
+}

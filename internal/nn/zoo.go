@@ -20,7 +20,29 @@ type ZooConfig struct {
 	SpatialScale float64
 	// Seed drives weight generation and pruning.
 	Seed int64
+	// Batch multiplies the timestep/token count of sequence workloads
+	// (FC-lowered layers gain window parallelism; spatial layers are
+	// untouched). 0 means 1. The CNN builders ignore it — batching images
+	// through a conv layer only repeats identical per-image timing.
+	Batch int
 }
+
+// BatchSize is the canonical batch: Batch with the zero value mapped to 1.
+func (c ZooConfig) BatchSize() int {
+	if c.Batch < 1 {
+		return 1
+	}
+	return c.Batch
+}
+
+// ScaleChannels applies the zoo's channel scaling rule (multiple-of-16
+// rounding with a 32-channel floor) — exported so workload packages outside
+// internal/nn scale their native topologies exactly as the paper zoo does.
+func (c ZooConfig) ScaleChannels(ch int) int { return scaleC(ch, c) }
+
+// ScaleSpatial applies the zoo's spatial scaling rule, keeping at least
+// minDim.
+func (c ZooConfig) ScaleSpatial(d, minDim int) int { return scaleS(d, minDim, c) }
 
 // DefaultZoo is the configuration the experiment harness uses: every layer
 // type and the paper's relative orderings are preserved at ~1/30 the MACs.
@@ -28,32 +50,37 @@ func DefaultZoo() ZooConfig {
 	return ZooConfig{Width: fixed.W16, ChannelScale: 0.25, SpatialScale: 0.5, Seed: 1}
 }
 
-// ModelNames lists the seven evaluation networks in the paper's order.
+// ModelNames lists the seven paper evaluation networks in the paper's
+// order — the default set the figure runners sweep. The full registered
+// set, including workload zoos from outside this package, is Names().
 var ModelNames = []string{
 	"AlexNet-ES", "AlexNet-SS", "GoogLeNet-ES", "GoogLeNet-SS",
 	"ResNet50-SS", "MobileNet", "Bi-LSTM",
 }
 
-// BuildModel instantiates one of the paper's seven networks by name.
+// BuildModel instantiates a registered workload by name (case-insensitive):
+// geometry from the entry's builder, then deterministic weight synthesis,
+// pruning to the entry's target, and — for 8-bit configs — range-oblivious
+// requantization.
 func BuildModel(name string, cfg ZooConfig) (*Model, error) {
-	b, prof, ok := zooEntry(name)
-	if !ok {
-		return nil, fmt.Errorf("nn: unknown model %q (want one of %v)", name, ModelNames)
+	e, err := Lookup(name)
+	if err != nil {
+		return nil, err
 	}
-	m := b(cfg)
-	m.Name = name
+	m := e.Build(cfg)
+	m.Name = e.Name
 	m.Width = fixed.W16
-	m.Act = prof.act
-	m.TargetWeightSparsity = prof.weightSparsity
-	fillWeights(m, cfg, prof.weightSparsity)
+	m.Act = e.Act
+	m.TargetWeightSparsity = e.WeightSparsity
+	fillWeights(m, cfg, e.WeightSparsity)
 	if cfg.Width == fixed.W8 {
 		m = m.Quantize8()
-		m.Name = name // experiments address 8b models by the plain name
+		m.Name = e.Name // experiments address 8b models by the plain name
 	}
 	return m, nil
 }
 
-// BuildAll instantiates the full zoo.
+// BuildAll instantiates the paper's seven-network zoo.
 func BuildAll(cfg ZooConfig) ([]*Model, error) {
 	out := make([]*Model, 0, len(ModelNames))
 	for _, n := range ModelNames {
@@ -66,35 +93,29 @@ func BuildAll(cfg ZooConfig) ([]*Model, error) {
 	return out, nil
 }
 
-// profile carries the per-network calibration targets derived from the
-// paper's Table 1 potentials (DESIGN.md §2): aggregate weight sparsity from
-// the W column (1 − 1/W), activation zero fraction from the A column, and
-// the log-magnitude law matched to the Ap/Ae columns.
-type profile struct {
-	weightSparsity float64
-	act            sparsity.ActModel
-}
-
-type builder func(ZooConfig) *Model
-
-func zooEntry(name string) (builder, profile, bool) {
-	switch name {
-	case "AlexNet-ES":
-		return buildAlexNet, profile{0.77, sparsity.ActModel{ZeroFrac: 0.33, MeanLog2: 11.0, SigmaLog2: 2.0, SigBits: 5}}, true
-	case "AlexNet-SS":
-		return buildAlexNet, profile{0.85, sparsity.ActModel{ZeroFrac: 0.38, MeanLog2: 11.0, SigmaLog2: 2.0, SigBits: 4}}, true
-	case "GoogLeNet-ES":
-		return buildGoogLeNet, profile{0.60, sparsity.ActModel{ZeroFrac: 0.47, MeanLog2: 11.2, SigmaLog2: 2.0, SigBits: 5}}, true
-	case "GoogLeNet-SS":
-		return buildGoogLeNet, profile{0.77, sparsity.ActModel{ZeroFrac: 0.44, MeanLog2: 11.0, SigmaLog2: 2.0, SigBits: 4}}, true
-	case "ResNet50-SS":
-		return buildResNet50, profile{0.41, sparsity.ActModel{ZeroFrac: 0.60, MeanLog2: 10.6, SigmaLog2: 1.8, SigBits: 3}}, true
-	case "MobileNet":
-		return buildMobileNet, profile{0.55, sparsity.ActModel{ZeroFrac: 0.44, MeanLog2: 11.4, SigmaLog2: 1.9, SigBits: 8}}, true
-	case "Bi-LSTM":
-		return buildBiLSTM, profile{0.73, sparsity.ActModel{ZeroFrac: 0.38, MeanLog2: 11.2, SigmaLog2: 1.9, SigBits: 8}}, true
-	default:
-		return nil, profile{}, false
+// The paper's seven networks register like any other workload. The
+// per-network calibration targets derive from the paper's Table 1
+// potentials (DESIGN.md §2): aggregate weight sparsity from the W column
+// (1 − 1/W), activation zero fraction from the A column, and the
+// log-magnitude law matched to the Ap/Ae columns.
+func init() {
+	for _, e := range []Entry{
+		{Name: "AlexNet-ES", Build: buildAlexNet, WeightSparsity: 0.77,
+			Act: sparsity.ActModel{ZeroFrac: 0.33, MeanLog2: 11.0, SigmaLog2: 2.0, SigBits: 5}},
+		{Name: "AlexNet-SS", Build: buildAlexNet, WeightSparsity: 0.85,
+			Act: sparsity.ActModel{ZeroFrac: 0.38, MeanLog2: 11.0, SigmaLog2: 2.0, SigBits: 4}},
+		{Name: "GoogLeNet-ES", Build: buildGoogLeNet, WeightSparsity: 0.60,
+			Act: sparsity.ActModel{ZeroFrac: 0.47, MeanLog2: 11.2, SigmaLog2: 2.0, SigBits: 5}},
+		{Name: "GoogLeNet-SS", Build: buildGoogLeNet, WeightSparsity: 0.77,
+			Act: sparsity.ActModel{ZeroFrac: 0.44, MeanLog2: 11.0, SigmaLog2: 2.0, SigBits: 4}},
+		{Name: "ResNet50-SS", Build: buildResNet50, WeightSparsity: 0.41,
+			Act: sparsity.ActModel{ZeroFrac: 0.60, MeanLog2: 10.6, SigmaLog2: 1.8, SigBits: 3}},
+		{Name: "MobileNet", Build: buildMobileNet, WeightSparsity: 0.55,
+			Act: sparsity.ActModel{ZeroFrac: 0.44, MeanLog2: 11.4, SigmaLog2: 1.9, SigBits: 8}},
+		{Name: "Bi-LSTM", Build: buildBiLSTM, WeightSparsity: 0.73,
+			Act: sparsity.ActModel{ZeroFrac: 0.38, MeanLog2: 11.2, SigmaLog2: 1.9, SigBits: 8}},
+	} {
+		Register(e)
 	}
 }
 

@@ -24,10 +24,10 @@ import (
 // spelled out coalesce onto one digest, and one engine run.
 func Fingerprint(m *nn.Model, zoo nn.ZooConfig, actSeed int64, cfgs []arch.Config) string {
 	h := sha256.New()
-	// v1 guards the grammar itself: bump when the canonical form changes so
-	// stale cache keys can never alias fresh ones.
-	fmt.Fprintf(h, "tclserve-fp-v1\nmodel=%s cs=%g ss=%g seed=%d act=%d w=%d\n",
-		m.Name, zoo.ChannelScale, zoo.SpatialScale, zoo.Seed, actSeed, zoo.Width)
+	// v2 guards the grammar itself: bump when the canonical form changes so
+	// stale cache keys can never alias fresh ones (v2 added batch).
+	fmt.Fprintf(h, "tclserve-fp-v2\nmodel=%s cs=%g ss=%g seed=%d act=%d w=%d batch=%d\n",
+		m.Name, zoo.ChannelScale, zoo.SpatialScale, zoo.Seed, actSeed, zoo.Width, zoo.BatchSize())
 	for _, cfg := range cfgs {
 		writeConfig(h, cfg)
 	}

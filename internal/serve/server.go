@@ -11,8 +11,11 @@ import (
 
 	"bittactical/internal/arch"
 	"bittactical/internal/metrics"
+	"bittactical/internal/nn"
 	"bittactical/internal/sched"
 	"bittactical/internal/sim"
+	"bittactical/internal/sparsity"
+	"bittactical/internal/tensor"
 )
 
 // maxBodyBytes bounds request bodies; every valid request is a small JSON
@@ -160,6 +163,7 @@ func (s *Server) Routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("POST /v1/simulate", s.limited(s.handleSimulate))
 	mux.HandleFunc("POST /v1/schedule", s.limited(s.handleSchedule))
 	mux.HandleFunc("POST /v1/shard", s.limited(s.handleShard))
@@ -190,6 +194,33 @@ func (s *Server) limited(h http.HandlerFunc) http.HandlerFunc {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleModels lists every registered workload, so a client can discover
+// what ModelSpec.Model accepts without provoking a 400. The paper's seven
+// networks are reported separately from the full registry set.
+func (s *Server) handleModels(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"models": nn.Names(),
+		"paper":  nn.ModelNames,
+	})
+}
+
+// publishActProfile accumulates one engine run's activation tensors into
+// the sparsity_slice_* counters (sparsity.SliceProfile): per-bit-plane
+// zero fractions, the calibration feed a BitWave/SWIS-style back-end
+// consumes. Only cache-missing engine runs pay the pass; hits reuse the
+// already-published run.
+func (s *Server) publishActProfile(acts []*tensor.T) {
+	reg := s.cfg.Metrics
+	if reg == nil {
+		reg = metrics.Default
+	}
+	var p sparsity.SliceProfile
+	for _, t := range acts {
+		p.AddTensor(t)
+	}
+	p.Publish(reg)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -297,6 +328,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 		acts := m.GenerateActs(actSeed)
+		s.publishActProfile(acts)
 		results, err := sim.SimulateSweepContext(ctx, cfgs, m, acts, opts)
 		if err != nil {
 			return nil, err

@@ -90,13 +90,19 @@ func DefaultConfigs() []ConfigSpec {
 	}
 }
 
-// ModelSpec is the shared model-selection part of every endpoint.
+// ModelSpec is the shared model-selection part of every endpoint. Model
+// resolves against the process-wide workload registry (nn.Names(), also
+// served at GET /v1/models) — registered zoos outside internal/nn, like the
+// transformer-era workloads, become reachable with no handler changes.
 type ModelSpec struct {
 	Model        string  `json:"model"`
 	ChannelScale float64 `json:"channel_scale,omitempty"`
 	SpatialScale float64 `json:"spatial_scale,omitempty"`
 	Seed         int64   `json:"seed,omitempty"`
 	ActSeed      int64   `json:"act_seed,omitempty"`
+	// Batch multiplies sequence workloads' token windows (ZooConfig.Batch);
+	// 0 means 1.
+	Batch int `json:"batch,omitempty"`
 }
 
 // Build instantiates the model with every default applied, returning the
@@ -105,7 +111,7 @@ type ModelSpec struct {
 // coalesces with one that omits it.
 func (ms ModelSpec) Build() (*nn.Model, nn.ZooConfig, int64, error) {
 	if ms.Model == "" {
-		return nil, nn.ZooConfig{}, 0, errors.New("missing model (want one of " + strings.Join(nn.ModelNames, ", ") + ")")
+		return nil, nn.ZooConfig{}, 0, errors.New("missing model (want one of " + strings.Join(nn.Names(), ", ") + ")")
 	}
 	zoo := nn.DefaultZoo()
 	if ms.ChannelScale > 0 {
@@ -116,6 +122,9 @@ func (ms ModelSpec) Build() (*nn.Model, nn.ZooConfig, int64, error) {
 	}
 	if ms.Seed != 0 {
 		zoo.Seed = ms.Seed
+	}
+	if ms.Batch > 1 {
+		zoo.Batch = ms.Batch
 	}
 	m, err := nn.BuildModel(ms.Model, zoo)
 	if err != nil {

@@ -1,0 +1,187 @@
+package sparsity
+
+import (
+	"math/rand"
+	"testing"
+
+	"bittactical/internal/fixed"
+	"bittactical/internal/tensor"
+)
+
+func testGELU() GELUAct {
+	return GELUAct{ZeroFrac: 0.15, MeanLog2: 10.5, SigmaLog2: 2.2, NegFrac: 0.35, SigBits: 5}
+}
+
+func TestActivationModelNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, m := range []ActivationModel{
+		ActModel{ZeroFrac: 0.4, MeanLog2: 10, SigmaLog2: 2},
+		testGELU(),
+		SoftmaxAct{},
+	} {
+		n := m.Name()
+		if n == "" || names[n] {
+			t.Errorf("Name() = %q: empty or duplicate across distributions", n)
+		}
+		names[n] = true
+	}
+}
+
+func TestGELUSampleShape(t *testing.T) {
+	m := testGELU()
+	rng := rand.New(rand.NewSource(3))
+	const n = 20000
+	zeros, negs, nonzero := 0, 0, 0
+	var maxPos, maxNegMag int32
+	for i := 0; i < n; i++ {
+		v := m.Sample(rng, fixed.W16)
+		switch {
+		case v == 0:
+			zeros++
+		case v < 0:
+			negs++
+			nonzero++
+			if -v > maxNegMag {
+				maxNegMag = -v
+			}
+		default:
+			nonzero++
+			if v > maxPos {
+				maxPos = v
+			}
+		}
+		if v > fixed.W16.MaxInt() || v < -fixed.W16.MaxInt() {
+			t.Fatalf("code %d out of W16 range", v)
+		}
+	}
+	if zf := float64(zeros) / n; zf < m.ZeroFrac-0.02 || zf > m.ZeroFrac+0.02 {
+		t.Errorf("zero fraction = %.3f, want ≈ %.2f", zf, m.ZeroFrac)
+	}
+	if nf := float64(negs) / float64(nonzero); nf < m.NegFrac-0.03 || nf > m.NegFrac+0.03 {
+		t.Errorf("negative fraction = %.3f, want ≈ %.2f", nf, m.NegFrac)
+	}
+	// The defining GELU property: the negative lobe is bounded well below
+	// the positive lobe's tail (the cap folds the tail back).
+	if maxNegMag >= maxPos {
+		t.Errorf("max |negative| %d >= max positive %d; negative lobe is not bounded", maxNegMag, maxPos)
+	}
+}
+
+func TestGELUSigBits(t *testing.T) {
+	m := testGELU()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		v := m.Sample(rng, fixed.W16)
+		if v < 0 {
+			v = -v
+		}
+		if v == 0 {
+			continue
+		}
+		if got := TruncateSigBits(v, m.SigBits); got != v {
+			// One documented exception: at the clamp edge, quantizeLog2 drops
+			// the rounding-carry LSB instead of overflowing the width.
+			if v == fixed.W16.MaxInt()&^1 {
+				continue
+			}
+			t.Fatalf("code %d carries more than %d significant bits", v, m.SigBits)
+		}
+	}
+}
+
+func TestGELUFillTensorDeterministic(t *testing.T) {
+	m := testGELU()
+	fill := func() *tensor.T {
+		a := tensor.New(1, 32, 8, 8)
+		m.FillTensor(rand.New(rand.NewSource(11)), a, fixed.W16)
+		return a
+	}
+	a, b := fill(), fill()
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("FillTensor not deterministic in the rng at %d: %d vs %d", i, a.Data[i], b.Data[i])
+		}
+	}
+	// The fill carries both lobes and a plausible zero fraction.
+	negs, zeros := 0, 0
+	for _, v := range a.Data {
+		if v < 0 {
+			negs++
+		}
+		if v == 0 {
+			zeros++
+		}
+	}
+	if negs == 0 {
+		t.Error("GELU fill has no negative codes")
+	}
+	if zf := float64(zeros) / float64(len(a.Data)); zf < 0.05 || zf > 0.60 {
+		t.Errorf("GELU fill zero fraction = %.3f, implausible for ZeroFrac %.2f", zf, m.ZeroFrac)
+	}
+}
+
+func TestSoftmaxRowsNormalize(t *testing.T) {
+	m := SoftmaxAct{FracBits: 12} // default Temp: the peaky trained-attention shape
+	a := tensor.New(1, 64, 4, 4)
+	m.FillTensor(rand.New(rand.NewSource(7)), a, fixed.W16)
+	c, h, w := a.Shape[1], a.Shape[2], a.Shape[3]
+	scale := int64(1) << 12
+	for hi := 0; hi < h; hi++ {
+		for wi := 0; wi < w; wi++ {
+			var sum int64
+			for ci := 0; ci < c; ci++ {
+				v := a.At(0, ci, hi, wi)
+				if v < 0 {
+					t.Fatalf("softmax code %d is negative", v)
+				}
+				sum += int64(v)
+			}
+			// Each row is a rounded probability distribution: the codes sum
+			// to 2^FracBits up to per-element rounding (±½ each).
+			if diff := sum - scale; diff < -int64(c) || diff > int64(c) {
+				t.Errorf("row (%d,%d) codes sum to %d, want ≈ %d", hi, wi, sum, scale)
+			}
+		}
+	}
+	// Row normalization concentrates mass: most codes underflow to zero.
+	var p SliceProfile
+	p.AddTensor(a)
+	if vs := p.ValueSparsity(); vs < 0.5 {
+		t.Errorf("softmax value sparsity = %.3f, want the emergent majority of zeros", vs)
+	}
+	if p.NegValues != 0 {
+		t.Errorf("softmax profile counts %d negative codes, want 0", p.NegValues)
+	}
+}
+
+func TestSoftmaxSampleMarginal(t *testing.T) {
+	m := SoftmaxAct{} // all defaults: Temp 4, FracBits 12, Keys 64
+	rng := rand.New(rand.NewSource(9))
+	const n = 20000
+	zeros := 0
+	for i := 0; i < n; i++ {
+		v := m.Sample(rng, fixed.W16)
+		if v < 0 || v > fixed.W16.MaxInt() {
+			t.Fatalf("sample %d out of range", v)
+		}
+		if v == 0 {
+			zeros++
+		}
+	}
+	zf := float64(zeros) / n
+	if zf < 0.4 || zf > 0.99 {
+		t.Errorf("marginal zero fraction = %.3f, want the peaky-row majority", zf)
+	}
+}
+
+// TestSoftmaxRespectsWidth: an 8-bit datapath clamps the peaks instead of
+// overflowing.
+func TestSoftmaxRespectsWidth(t *testing.T) {
+	m := SoftmaxAct{Temp: 6, FracBits: 12}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 2000; i++ {
+		if v := m.Sample(rng, fixed.W8); v < 0 || v > fixed.W8.MaxInt() {
+			t.Fatalf("W8 sample %d out of range", v)
+		}
+	}
+}

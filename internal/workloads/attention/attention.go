@@ -1,0 +1,178 @@
+// Package attention registers a transformer-era workload zoo against the
+// internal/nn workload registry — entirely from outside the engine, the
+// way internal/backend/dstripes plugs a back-end into the back-end
+// registry. Nothing in internal/nn names these models; importing this
+// package (for side effects) is what makes them buildable.
+//
+// Every attention primitive lowers onto the FC machinery the engine
+// already has (weight-stationary matmuls with Timesteps as the token/query
+// window axis), per DESIGN.md §15:
+//
+//   - QKV/output projections and FFN layers are FC layers with one
+//     timestep per token (× batch);
+//   - the Q·Kᵀ score matmul is an FC layer whose "filters" are the keys
+//     (K = seq, reduction = head dim) applied once per (query, head);
+//   - the attention×V matmul is an FC layer reducing over keys
+//     (K = head dim, reduction = seq) whose *input* is overridden to the
+//     softmax-row distribution (Layer.Act) — probability rows with
+//     emergent underflow sparsity;
+//   - everything else sees the model's GELU-shaped signed law.
+//
+// ZooConfig.Batch multiplies the token windows of every FC-lowered layer,
+// the transformer batch-size knob (spatial CNN layers ignore it).
+package attention
+
+import (
+	"fmt"
+
+	"bittactical/internal/nn"
+	"bittactical/internal/sparsity"
+)
+
+// ModelNames lists the registered transformer-era workloads in evaluation
+// order: three attention-block models and one depthwise/group-conv stress
+// model.
+var ModelNames = []string{"BERT-Attn", "GPT2-Attn", "ViT-Attn", "ConvNeXt-DW"}
+
+// headDim is the per-head reduction depth, fixed at the value every
+// BERT/GPT2/ViT family uses; the head count scales with the hidden width.
+const headDim = 64
+
+func init() {
+	for _, e := range []nn.Entry{
+		// BERT-small encoder blocks over a 128-token sequence. Weight
+		// sparsity per movement-pruning results on BERT (≈60% with no
+		// accuracy loss); GELU activations carry a wide positive lobe and a
+		// bounded negative lobe.
+		{Name: "BERT-Attn", WeightSparsity: 0.60,
+			Act:   sparsity.GELUAct{ZeroFrac: 0.12, MeanLog2: 10.8, SigmaLog2: 2.2, NegFrac: 0.35, SigBits: 5},
+			Build: func(cfg nn.ZooConfig) *nn.Model { return buildEncoder(cfg, 512, 128, 2048, 2) }},
+		// GPT2-small decoder blocks over a 256-token context.
+		{Name: "GPT2-Attn", WeightSparsity: 0.50,
+			Act:   sparsity.GELUAct{ZeroFrac: 0.10, MeanLog2: 11.0, SigmaLog2: 2.4, NegFrac: 0.33, SigBits: 6},
+			Build: func(cfg nn.ZooConfig) *nn.Model { return buildEncoder(cfg, 768, 256, 3072, 2) }},
+		// ViT-small: a 16×16 patch-embedding convolution feeds encoder
+		// blocks whose sequence length is the patch count.
+		{Name: "ViT-Attn", WeightSparsity: 0.45,
+			Act:   sparsity.GELUAct{ZeroFrac: 0.15, MeanLog2: 10.5, SigmaLog2: 2.0, NegFrac: 0.30, SigBits: 5},
+			Build: buildViT},
+		// ConvNeXt-style depthwise/group-conv stress shapes: 7×7 depthwise
+		// kernels, 4× pointwise expansion, and ResNeXt-style grouped 3×3
+		// convolutions — the layer geometries the paper's CNN zoo touches
+		// only lightly (MobileNet's 3×3 depthwise).
+		{Name: "ConvNeXt-DW", WeightSparsity: 0.55,
+			Act:   sparsity.GELUAct{ZeroFrac: 0.25, MeanLog2: 11.0, SigmaLog2: 1.9, NegFrac: 0.25, SigBits: 6},
+			Build: buildConvNeXt},
+	} {
+		nn.Register(e)
+	}
+}
+
+// softmaxRows is the attention-probability input law shared by every
+// attention×V layer: Q12 probability codes, rows normalized over the keys.
+var softmaxRows = sparsity.SoftmaxAct{FracBits: 12, SigBits: 6}
+
+// fcT is a weight-sharing FC layer over `windows` token positions.
+func fcT(name string, k, c, windows int) *nn.Layer {
+	return &nn.Layer{Name: name, Kind: nn.FC, K: k, C: c, R: 1, S: 1, InH: 1, InW: 1, Timesteps: windows}
+}
+
+// attnBlock appends one pre-norm attention block: QKV and output
+// projections, per-head score and attention×V matmuls, and the FFN pair.
+// seq tokens, h hidden width, ffn inner width; every FC window count is
+// multiplied by the batch size.
+func attnBlock(m *nn.Model, prefix string, h, seq, ffn, batch int) {
+	heads := h / headDim
+	if heads < 1 {
+		heads = 1
+	}
+	dHead := h / heads
+	tok := seq * batch
+	m.Layers = append(m.Layers,
+		fcT(prefix+"/q_proj", h, h, tok),
+		fcT(prefix+"/k_proj", h, h, tok),
+		fcT(prefix+"/v_proj", h, h, tok),
+		// Q·Kᵀ: one dot product of depth dHead per (query, key, head); the
+		// key axis plays the filter role, the (query, head) axis the window
+		// role.
+		fcT(prefix+"/scores", seq, dHead, seq*heads*batch),
+	)
+	// Attention×V reduces each query's probability row over the keys; its
+	// input is the softmax output, not a GELU activation.
+	av := fcT(prefix+"/attnv", dHead, seq, seq*heads*batch)
+	av.Act = softmaxRows
+	m.Layers = append(m.Layers,
+		av,
+		fcT(prefix+"/out_proj", h, h, tok),
+		fcT(prefix+"/ffn1", ffn, h, tok),
+		fcT(prefix+"/ffn2", h, ffn, tok),
+	)
+}
+
+// buildEncoder is the shared BERT/GPT2 geometry: `blocks` attention blocks
+// at native hidden width h, sequence length seq, and FFN width ffn, scaled
+// through the zoo's rules.
+func buildEncoder(cfg nn.ZooConfig, h, seq, ffn, blocks int) *nn.Model {
+	hs := cfg.ScaleChannels(h)
+	fs := cfg.ScaleChannels(ffn)
+	ss := cfg.ScaleSpatial(seq, 16)
+	m := &nn.Model{}
+	for b := 1; b <= blocks; b++ {
+		attnBlock(m, fmt.Sprintf("blk%d", b), hs, ss, fs, cfg.BatchSize())
+	}
+	return m
+}
+
+// buildViT embeds 16×16 image patches with a strided convolution, then
+// runs encoder blocks over the patch sequence.
+func buildViT(cfg nn.ZooConfig) *nn.Model {
+	const patch = 16
+	in := cfg.ScaleSpatial(224, 64)
+	in = in / patch * patch // whole patches
+	hs := cfg.ScaleChannels(384)
+	fs := cfg.ScaleChannels(1536)
+	m := &nn.Model{}
+	m.Layers = append(m.Layers, &nn.Layer{
+		Name: "patch_embed", Kind: nn.Conv, K: hs, C: 3, R: patch, S: patch,
+		Stride: patch, InH: in, InW: in,
+	})
+	seq := (in / patch) * (in / patch)
+	for b := 1; b <= 2; b++ {
+		attnBlock(m, fmt.Sprintf("blk%d", b), hs, seq, fs, cfg.BatchSize())
+	}
+	return m
+}
+
+// buildConvNeXt is the depthwise/group-conv stress model: a patchify stem,
+// then stages of 7×7 depthwise + 1×1 expand/reduce blocks with a grouped
+// 3×3 convolution, downsampling between stages.
+func buildConvNeXt(cfg nn.ZooConfig) *nn.Model {
+	m := &nn.Model{}
+	in := cfg.ScaleSpatial(224, 64)
+	c := cfg.ScaleChannels(96)
+	m.Layers = append(m.Layers, &nn.Layer{
+		Name: "stem", Kind: nn.Conv, K: c, C: 3, R: 4, S: 4, Stride: 4, InH: in, InW: in,
+	})
+	d := in / 4
+	for stage := 1; stage <= 2; stage++ {
+		p := fmt.Sprintf("st%d", stage)
+		// ConvNeXt block: 7×7 depthwise, 1×1 expand ×4, 1×1 reduce.
+		m.Layers = append(m.Layers,
+			&nn.Layer{Name: p + "/dw7", Kind: nn.Depthwise, K: c, C: c, R: 7, S: 7, Stride: 1, Pad: 3, InH: d, InW: d},
+			&nn.Layer{Name: p + "/pw_expand", Kind: nn.Conv, K: 4 * c, C: c, R: 1, S: 1, Stride: 1, InH: d, InW: d},
+			&nn.Layer{Name: p + "/pw_reduce", Kind: nn.Conv, K: c, C: 4 * c, R: 1, S: 1, Stride: 1, InH: d, InW: d},
+			// ResNeXt-style grouped 3×3: cross-channel reduction restricted
+			// to 4 channel groups.
+			&nn.Layer{Name: p + "/group3", Kind: nn.Conv, K: c, C: c, R: 3, S: 3, Stride: 1, Pad: 1, Groups: 4, InH: d, InW: d},
+		)
+		if stage < 2 {
+			next := cfg.ScaleChannels(192)
+			m.Layers = append(m.Layers, &nn.Layer{
+				Name: p + "/down", Kind: nn.Conv, K: next, C: c, R: 2, S: 2, Stride: 2, InH: d, InW: d,
+			})
+			c = next
+			d /= 2
+		}
+	}
+	return m
+}
